@@ -1,0 +1,8 @@
+//! Regenerates the DESIGN.md ablation tables (split dimension, split
+//! position, implicit dimensionality reduction, overlap relaxation).
+fn main() {
+    hyt_bench::emit("ablate_split_dim", hyt_eval::figures::ablate_split_dim);
+    hyt_bench::emit("ablate_split_pos", hyt_eval::figures::ablate_split_pos);
+    hyt_bench::emit("ablate_dim_elim", hyt_eval::figures::ablate_dim_elim);
+    hyt_bench::emit("ablate_overlap", hyt_eval::figures::ablate_overlap);
+}

@@ -1,0 +1,6 @@
+//! Beyond-the-paper comparisons: kNN cost across engines and build
+//! costs (insertion vs bulk load).
+fn main() {
+    hyt_bench::emit("knn_comparison", hyt_eval::figures::knn_comparison);
+    hyt_bench::emit("build_costs", hyt_eval::figures::build_costs);
+}

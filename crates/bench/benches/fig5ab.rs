@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig5ab (see hyt_eval::figures::fig5ab).
+fn main() {
+    hyt_bench::emit("fig5ab", hyt_eval::figures::fig5ab);
+}

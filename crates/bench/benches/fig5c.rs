@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig5c (see hyt_eval::figures::fig5c).
+fn main() {
+    hyt_bench::emit("fig5c", hyt_eval::figures::fig5c);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig6ab (see hyt_eval::figures::fig6ab).
+fn main() {
+    hyt_bench::emit("fig6ab", hyt_eval::figures::fig6ab);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig6cd (see hyt_eval::figures::fig6cd).
+fn main() {
+    hyt_bench::emit("fig6cd", hyt_eval::figures::fig6cd);
+}

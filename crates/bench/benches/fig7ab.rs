@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig7ab (see hyt_eval::figures::fig7ab).
+fn main() {
+    hyt_bench::emit("fig7ab", hyt_eval::figures::fig7ab);
+}

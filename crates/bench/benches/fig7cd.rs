@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig7cd (see hyt_eval::figures::fig7cd).
+fn main() {
+    hyt_bench::emit("fig7cd", hyt_eval::figures::fig7cd);
+}

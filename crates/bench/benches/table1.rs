@@ -1,0 +1,4 @@
+//! Regenerates the paper's table1 (see hyt_eval::figures::table1).
+fn main() {
+    hyt_bench::emit("table1", hyt_eval::figures::table1);
+}

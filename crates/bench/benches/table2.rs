@@ -1,0 +1,4 @@
+//! Regenerates the paper's table2 (see hyt_eval::figures::table2).
+fn main() {
+    hyt_bench::emit("table2", hyt_eval::figures::table2);
+}

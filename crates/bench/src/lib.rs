@@ -1,0 +1,63 @@
+//! Shared plumbing for the figure-regeneration bench targets.
+//!
+//! Every table and figure of the paper has its own `cargo bench` target
+//! (`cargo bench -p hyt-bench --bench fig6ab`, etc.). Each target runs
+//! the corresponding [`hyt_eval::figures`] driver once at the scale
+//! chosen by `HYT_SCALE` (`quick` default, `paper` for full sizes),
+//! prints the regenerated table, and archives it under `results/`.
+
+use hyt_eval::{FigureReport, Scale};
+use std::path::PathBuf;
+
+/// Runs a figure driver, prints its report, and saves it to
+/// `results/<name>.txt` (relative to the workspace root when available).
+pub fn emit(
+    name: &str,
+    driver: impl FnOnce(&Scale) -> Result<FigureReport, hyt_index::IndexError>,
+) {
+    let scale = Scale::from_env();
+    eprintln!(
+        "[{name}] running at scale {scale:?} (set HYT_SCALE=paper for full sizes)"
+    );
+    let started = std::time::Instant::now();
+    let report = match driver(&scale) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("[{name}] failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let rendered = report.to_string();
+    println!("{rendered}");
+    eprintln!("[{name}] done in {:.1}s", started.elapsed().as_secs_f64());
+    let dir = results_dir();
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{name}.txt"));
+        if let Err(e) = std::fs::write(&path, &rendered) {
+            eprintln!("[{name}] could not archive to {}: {e}", path.display());
+        } else {
+            eprintln!("[{name}] archived to {}", path.display());
+        }
+    }
+}
+
+fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; results live at the repo root.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("results");
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_is_repo_root_results() {
+        let d = results_dir();
+        assert!(d.ends_with("results"));
+        assert!(d.parent().unwrap().join("Cargo.toml").exists());
+    }
+}

@@ -1,0 +1,411 @@
+//! Incremental and approximate nearest-neighbor search.
+//!
+//! The paper's conclusion names efficient *approximate* nearest-neighbor
+//! queries as planned future work, and its motivating application (MARS
+//! relevance feedback) consumes *ranked* results incrementally. Both are
+//! provided here on top of the hybrid tree:
+//!
+//! * [`HybridTree::nearest_iter`] streams `(oid, distance)` pairs in
+//!   non-decreasing distance order using the Hjaltason–Samet incremental
+//!   algorithm: a single priority queue holds both unexpanded nodes
+//!   (keyed by `MINDIST` to their ELS-tightened regions) and materialized
+//!   entries (keyed by exact distance). An entry can be emitted as soon
+//!   as it reaches the front of the queue — no `k` needs to be fixed in
+//!   advance, so a relevance-feedback loop can pull "a few more" results
+//!   without re-running the query.
+//! * [`HybridTree::knn_approximate`] is best-first kNN with the classical
+//!   `(1 + ε)` relaxation: a node is pruned when
+//!   `mindist > best_k / (1 + ε)`, guaranteeing every reported neighbor
+//!   is within factor `1 + ε` of the true one while visiting fewer pages.
+
+use crate::node::Node;
+use crate::tree::HybridTree;
+use hyt_geom::{Metric, Point, Rect};
+use hyt_index::{check_dim, IndexResult};
+use hyt_page::{PageId, Storage};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Queue element: either an unexpanded node or a concrete entry.
+enum Payload {
+    Node { pid: PageId, region: Rect },
+    Entry { oid: u64 },
+}
+
+struct QueueItem {
+    dist: f64,
+    /// Entries sort before nodes at equal distance so ties emit eagerly.
+    is_node: bool,
+    payload: Payload,
+}
+
+impl PartialEq for QueueItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.is_node == other.is_node
+    }
+}
+impl Eq for QueueItem {}
+impl PartialOrd for QueueItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for a min-heap on (dist, is_node).
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then(other.is_node.cmp(&self.is_node))
+    }
+}
+
+/// Streaming nearest-neighbor cursor over a [`HybridTree`].
+///
+/// Created by [`HybridTree::nearest_iter`]; see the module docs. The
+/// cursor borrows the tree mutably (page reads go through the buffer
+/// pool), so interleave pulls with other operations by dropping it.
+pub struct NearestIter<'t, 'm, S: Storage> {
+    tree: &'t mut HybridTree<S>,
+    metric: &'m dyn Metric,
+    q: Point,
+    heap: BinaryHeap<QueueItem>,
+}
+
+impl<S: Storage> NearestIter<'_, '_, S> {
+    /// Pulls the next-nearest entry, or `None` when exhausted.
+    ///
+    /// (Not the `Iterator` trait: page reads can fail, so the signature
+    /// is `IndexResult<Option<..>>`, with errors surfaced rather than
+    /// swallowed.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> IndexResult<Option<(u64, f64)>> {
+        while let Some(item) = self.heap.pop() {
+            match item.payload {
+                Payload::Entry { oid } => return Ok(Some((oid, item.dist))),
+                Payload::Node { pid, region } => {
+                    match self.tree.read_node(pid)? {
+                        Node::Data(entries) => {
+                            for e in entries {
+                                let d = self.metric.distance(&self.q, &e.point);
+                                self.heap.push(QueueItem {
+                                    dist: d,
+                                    is_node: false,
+                                    payload: Payload::Entry { oid: e.oid },
+                                });
+                            }
+                        }
+                        Node::Index { kd, .. } => {
+                            if self.tree.els.enabled() {
+                                for child in kd.child_ids() {
+                                    let d = self
+                                        .tree
+                                        .els
+                                        .quant_rect(child)
+                                        .map_or(0.0, |r| self.metric.min_dist_rect(&self.q, r));
+                                    self.heap.push(QueueItem {
+                                        dist: d,
+                                        is_node: true,
+                                        payload: Payload::Node {
+                                            pid: child,
+                                            region: region.clone(),
+                                        },
+                                    });
+                                }
+                            } else {
+                                for (child, child_region) in kd.children_with_regions(&region) {
+                                    let d = self.metric.min_dist_rect(&self.q, &child_region);
+                                    self.heap.push(QueueItem {
+                                        dist: d,
+                                        is_node: true,
+                                        payload: Payload::Node {
+                                            pid: child,
+                                            region: child_region,
+                                        },
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Pulls up to `n` further entries.
+    pub fn take(&mut self, n: usize) -> IndexResult<Vec<(u64, f64)>> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.next()? {
+                Some(hit) => out.push(hit),
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl<S: Storage> HybridTree<S> {
+    /// Opens an incremental nearest-neighbor cursor at `q` under
+    /// `metric` (ranked retrieval; see [module docs](self)).
+    pub fn nearest_iter<'t, 'm>(
+        &'t mut self,
+        q: &Point,
+        metric: &'m dyn Metric,
+    ) -> IndexResult<NearestIter<'t, 'm, S>> {
+        check_dim(self.dim, q.dim())?;
+        let mut heap = BinaryHeap::new();
+        if self.len > 0 {
+            heap.push(QueueItem {
+                dist: 0.0,
+                is_node: true,
+                payload: Payload::Node {
+                    pid: self.root,
+                    region: self.root_region(),
+                },
+            });
+        }
+        Ok(NearestIter {
+            tree: self,
+            metric,
+            q: q.clone(),
+            heap,
+        })
+    }
+
+    /// `(1 + epsilon)`-approximate k-nearest-neighbor search: every
+    /// returned neighbor's distance is at most `1 + epsilon` times the
+    /// distance of the true neighbor of the same rank. `epsilon == 0`
+    /// is exact kNN; larger values prune more aggressively and read
+    /// fewer pages (the trade-off the paper's future work targets).
+    pub fn knn_approximate(
+        &mut self,
+        q: &Point,
+        k: usize,
+        epsilon: f64,
+        metric: &dyn Metric,
+    ) -> IndexResult<Vec<(u64, f64)>> {
+        check_dim(self.dim, q.dim())?;
+        assert!(epsilon >= 0.0, "epsilon must be non-negative");
+        if k == 0 || self.len == 0 {
+            return Ok(Vec::new());
+        }
+        let relax = 1.0 + epsilon;
+        // Max-heap of current best k (by distance).
+        let mut best: BinaryHeap<BestHit> = BinaryHeap::new();
+        let mut pq: BinaryHeap<QueueItem> = BinaryHeap::new();
+        pq.push(QueueItem {
+            dist: 0.0,
+            is_node: true,
+            payload: Payload::Node {
+                pid: self.root,
+                region: self.root_region(),
+            },
+        });
+        while let Some(item) = pq.pop() {
+            if best.len() == k && item.dist > best.peek().unwrap().dist / relax {
+                break; // nothing left can improve beyond the ε slack
+            }
+            let Payload::Node { pid, region } = item.payload else {
+                unreachable!("approximate search queues nodes only");
+            };
+            match self.read_node(pid)? {
+                Node::Data(entries) => {
+                    for e in entries {
+                        let d = metric.distance(q, &e.point);
+                        if best.len() < k {
+                            best.push(BestHit { dist: d, oid: e.oid });
+                        } else if d < best.peek().unwrap().dist {
+                            best.pop();
+                            best.push(BestHit { dist: d, oid: e.oid });
+                        }
+                    }
+                }
+                Node::Index { kd, .. } => {
+                    if self.els.enabled() {
+                        for child in kd.child_ids() {
+                            let d = self
+                                .els
+                                .quant_rect(child)
+                                .map_or(0.0, |r| metric.min_dist_rect(q, r));
+                            if best.len() < k || d <= best.peek().unwrap().dist / relax {
+                                pq.push(QueueItem {
+                                    dist: d,
+                                    is_node: true,
+                                    payload: Payload::Node {
+                                        pid: child,
+                                        region: region.clone(),
+                                    },
+                                });
+                            }
+                        }
+                    } else {
+                        for (child, child_region) in kd.children_with_regions(&region) {
+                            let d = metric.min_dist_rect(q, &child_region);
+                            if best.len() < k || d <= best.peek().unwrap().dist / relax {
+                                pq.push(QueueItem {
+                                    dist: d,
+                                    is_node: true,
+                                    payload: Payload::Node {
+                                        pid: child,
+                                        region: child_region,
+                                    },
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut hits: Vec<(u64, f64)> = best.into_iter().map(|h| (h.oid, h.dist)).collect();
+        hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        Ok(hits)
+    }
+}
+
+struct BestHit {
+    dist: f64,
+    oid: u64,
+}
+impl PartialEq for BestHit {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.oid == other.oid
+    }
+}
+impl Eq for BestHit {}
+impl PartialOrd for BestHit {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for BestHit {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist.total_cmp(&other.dist).then(self.oid.cmp(&other.oid))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HybridTreeConfig;
+    use hyt_geom::{L1, L2};
+    use hyt_index::MultidimIndex;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn build(n: usize, dim: usize, seed: u64) -> (HybridTree, Vec<Point>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts: Vec<Point> = (0..n)
+            .map(|_| Point::new((0..dim).map(|_| rng.gen::<f32>()).collect()))
+            .collect();
+        let cfg = HybridTreeConfig {
+            page_size: 256,
+            ..HybridTreeConfig::default()
+        };
+        let mut t = HybridTree::new(dim, cfg).unwrap();
+        for (i, p) in pts.iter().enumerate() {
+            t.insert(p.clone(), i as u64).unwrap();
+        }
+        (t, pts)
+    }
+
+    #[test]
+    fn nearest_iter_yields_sorted_distances() {
+        let (mut t, pts) = build(500, 3, 1);
+        let q = Point::new(vec![0.4, 0.6, 0.5]);
+        let mut it = t.nearest_iter(&q, &L2).unwrap();
+        let mut prev = 0.0;
+        let mut count = 0;
+        while let Some((_, d)) = it.next().unwrap() {
+            assert!(d >= prev - 1e-12, "distances must be non-decreasing");
+            prev = d;
+            count += 1;
+        }
+        assert_eq!(count, pts.len(), "iterator must visit every entry");
+    }
+
+    #[test]
+    fn nearest_iter_prefix_equals_knn() {
+        let (mut t, _) = build(400, 4, 2);
+        let q = Point::new(vec![0.2; 4]);
+        let want = t.knn(&q, 12, &L1).unwrap();
+        let got = t.nearest_iter(&q, &L1).unwrap().take(12).unwrap();
+        assert_eq!(got.len(), 12);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.1 - w.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn nearest_iter_on_empty_tree() {
+        let mut t = HybridTree::new(2, HybridTreeConfig::default()).unwrap();
+        let q = Point::new(vec![0.5, 0.5]);
+        let mut it = t.nearest_iter(&q, &L2).unwrap();
+        assert!(it.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn approximate_with_zero_epsilon_is_exact() {
+        let (mut t, _) = build(600, 3, 3);
+        let q = Point::new(vec![0.7, 0.1, 0.5]);
+        let exact = t.knn(&q, 10, &L2).unwrap();
+        let approx = t.knn_approximate(&q, 10, 0.0, &L2).unwrap();
+        for (a, e) in approx.iter().zip(&exact) {
+            assert!((a.1 - e.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn approximate_respects_the_epsilon_guarantee() {
+        let (mut t, _) = build(800, 4, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let q = Point::new((0..4).map(|_| rng.gen::<f32>()).collect());
+            let exact = t.knn(&q, 8, &L2).unwrap();
+            for eps in [0.1, 0.5, 2.0] {
+                let approx = t.knn_approximate(&q, 8, eps, &L2).unwrap();
+                assert_eq!(approx.len(), 8);
+                for (rank, (_, d)) in approx.iter().enumerate() {
+                    let bound = exact[rank].1 * (1.0 + eps) + 1e-9;
+                    assert!(
+                        *d <= bound,
+                        "eps={eps} rank={rank}: {d} > (1+eps)*{}",
+                        exact[rank].1
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn larger_epsilon_reads_fewer_pages() {
+        let (mut t, _) = build(3000, 6, 6);
+        let q = Point::new(vec![0.5; 6]);
+        let mut accesses = Vec::new();
+        for eps in [0.0, 0.5, 2.0] {
+            t.reset_io_stats();
+            t.knn_approximate(&q, 10, eps, &L2).unwrap();
+            accesses.push(t.io_stats().logical_reads);
+        }
+        assert!(
+            accesses[2] <= accesses[0],
+            "eps=2 must not read more pages than exact: {accesses:?}"
+        );
+    }
+
+    #[test]
+    fn incremental_pull_is_cheaper_than_full_scan() {
+        let (mut t, _) = build(3000, 4, 7);
+        let q = Point::new(vec![0.5; 4]);
+        t.reset_io_stats();
+        let first = t.nearest_iter(&q, &L2).unwrap().take(3).unwrap();
+        assert_eq!(first.len(), 3);
+        let pulled = t.io_stats().logical_reads;
+        let total_pages = t.structure_stats().unwrap().total_nodes as u64;
+        assert!(
+            pulled < total_pages / 2,
+            "3-NN pull read {pulled} of {total_pages} pages"
+        );
+    }
+}

@@ -1,0 +1,255 @@
+//! Durable open/close: a hybrid tree over a page file can be persisted
+//! and reopened in another process.
+//!
+//! Pages already live in the [`FileStorage`](hyt_page::FileStorage); what
+//! survives here is the *catalog*: root page, height, entry count,
+//! configuration, the data-space bounding box, and the memory-resident
+//! ELS table (the paper keeps ELS in memory; on shutdown it must go
+//! somewhere, and rebuilding it would cost a full scan). The catalog is
+//! written as a small sidecar file next to the page file.
+
+use crate::config::{HybridTreeConfig, QuerySizeDist, SplitPolicy};
+use crate::els::ElsTable;
+use crate::tree::HybridTree;
+use hyt_geom::Rect;
+use hyt_index::{IndexError, IndexResult};
+use hyt_page::{BufferPool, ByteReader, ByteWriter, FileStorage, PageError, PageId};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"HYTREE01";
+
+fn encode_cfg(w: &mut ByteWriter, cfg: &HybridTreeConfig) {
+    w.put_u32(cfg.page_size as u32);
+    w.put_f64(cfg.min_fill);
+    w.put_u8(cfg.els_bits);
+    w.put_u8(match cfg.split_policy {
+        SplitPolicy::EdaOptimal => 0,
+        SplitPolicy::Vam => 1,
+        SplitPolicy::RoundRobin => 2,
+        SplitPolicy::MaxExtentMedian => 3,
+    });
+    match cfg.query_size {
+        QuerySizeDist::Fixed(r) => {
+            w.put_u8(0);
+            w.put_f64(r);
+        }
+        QuerySizeDist::Uniform { max } => {
+            w.put_u8(1);
+            w.put_f64(max);
+        }
+    }
+    w.put_u32(cfg.pool_pages as u32);
+}
+
+fn decode_cfg(r: &mut ByteReader<'_>) -> Result<HybridTreeConfig, PageError> {
+    let page_size = r.get_u32()? as usize;
+    let min_fill = r.get_f64()?;
+    let els_bits = r.get_u8()?;
+    let split_policy = match r.get_u8()? {
+        0 => SplitPolicy::EdaOptimal,
+        1 => SplitPolicy::Vam,
+        2 => SplitPolicy::RoundRobin,
+        3 => SplitPolicy::MaxExtentMedian,
+        t => return Err(PageError::Corrupt(format!("bad split policy {t}"))),
+    };
+    let query_size = match r.get_u8()? {
+        0 => QuerySizeDist::Fixed(r.get_f64()?),
+        1 => QuerySizeDist::Uniform { max: r.get_f64()? },
+        t => return Err(PageError::Corrupt(format!("bad query dist {t}"))),
+    };
+    let pool_pages = r.get_u32()? as usize;
+    Ok(HybridTreeConfig {
+        page_size,
+        min_fill,
+        els_bits,
+        split_policy,
+        query_size,
+        pool_pages,
+    })
+}
+
+impl HybridTree<FileStorage> {
+    /// Flushes all dirty pages and writes the catalog to `meta_path`.
+    ///
+    /// The page file itself is the one the tree was created over; after
+    /// this call, [`open`](Self::open) can restore the tree.
+    pub fn persist<P: AsRef<Path>>(&mut self, meta_path: P) -> IndexResult<()> {
+        self.pool.flush_all()?;
+        let mut w = ByteWriter::new();
+        w.put_bytes(MAGIC);
+        w.put_u32(self.dim as u32);
+        w.put_u64(self.len as u64);
+        w.put_u32(self.root.0);
+        w.put_u32(self.height as u32);
+        encode_cfg(&mut w, &self.cfg);
+        match &self.global_br {
+            Some(br) => {
+                w.put_u8(1);
+                for d in 0..self.dim {
+                    w.put_f32(br.lo(d));
+                }
+                for d in 0..self.dim {
+                    w.put_f32(br.hi(d));
+                }
+            }
+            None => w.put_u8(0),
+        }
+        self.els.encode(&mut w);
+        std::fs::write(meta_path, w.as_slice()).map_err(PageError::Io)?;
+        Ok(())
+    }
+
+    /// Reopens a tree persisted with [`persist`](Self::persist).
+    pub fn open<P: AsRef<Path>, Q: AsRef<Path>>(
+        pages_path: P,
+        meta_path: Q,
+    ) -> IndexResult<Self> {
+        let buf = std::fs::read(meta_path).map_err(PageError::Io)?;
+        let mut r = ByteReader::new(&buf);
+        let magic = r.get_bytes(8)?;
+        if magic != MAGIC {
+            return Err(IndexError::Storage(PageError::Corrupt(
+                "not a hybrid tree catalog (bad magic)".into(),
+            )));
+        }
+        let dim = r.get_u32()? as usize;
+        let len = r.get_u64()? as usize;
+        let root = PageId(r.get_u32()?);
+        let height = r.get_u32()? as usize;
+        let cfg = decode_cfg(&mut r)?;
+        let global_br = match r.get_u8()? {
+            0 => None,
+            1 => {
+                let mut lo = Vec::with_capacity(dim);
+                for _ in 0..dim {
+                    lo.push(r.get_f32()?);
+                }
+                let mut hi = Vec::with_capacity(dim);
+                for _ in 0..dim {
+                    hi.push(r.get_f32()?);
+                }
+                Some(Rect::new(lo, hi))
+            }
+            t => {
+                return Err(IndexError::Storage(PageError::Corrupt(format!(
+                    "bad bounding-box tag {t}"
+                ))))
+            }
+        };
+        let els = ElsTable::decode(&mut r)?;
+        let storage = FileStorage::open(pages_path, cfg.page_size)?;
+        let data_cap = crate::node::data_capacity(cfg.page_size, dim);
+        let data_min = ((cfg.min_fill * data_cap as f64).floor() as usize).max(1);
+        let pool = BufferPool::new(storage, cfg.pool_pages);
+        Ok(Self::assemble(
+            pool, root, height, dim, len, cfg, data_cap, data_min, global_br, els,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyt_geom::{Point, L2};
+    use hyt_index::MultidimIndex;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("hyt_persist_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn persist_and_reopen_roundtrip() {
+        let pages = tmp("rt.pages");
+        let meta = tmp("rt.meta");
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts: Vec<Point> = (0..800)
+            .map(|_| Point::new((0..5).map(|_| rng.gen::<f32>()).collect()))
+            .collect();
+        let cfg = HybridTreeConfig {
+            page_size: 512,
+            els_bits: 4,
+            ..HybridTreeConfig::default()
+        };
+        {
+            let storage = FileStorage::create(&pages, 512).unwrap();
+            let mut t = HybridTree::with_storage(5, cfg, storage).unwrap();
+            for (i, p) in pts.iter().enumerate() {
+                t.insert(p.clone(), i as u64).unwrap();
+            }
+            t.persist(&meta).unwrap();
+        }
+        {
+            let mut t = HybridTree::open(&pages, &meta).unwrap();
+            assert_eq!(t.len(), 800);
+            assert_eq!(t.dim(), 5);
+            t.check_invariants().unwrap();
+            // Queries agree with brute force after the round trip.
+            let rect = Rect::new(vec![0.2; 5], vec![0.8; 5]);
+            let mut got = t.box_query(&rect).unwrap();
+            got.sort_unstable();
+            let mut want: Vec<u64> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| rect.contains_point(p))
+                .map(|(i, _)| i as u64)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want);
+            // And the reopened tree stays fully dynamic.
+            t.insert(Point::new(vec![0.5; 5]), 9000).unwrap();
+            assert!(t.delete(&pts[0], 0).unwrap());
+            t.check_invariants().unwrap();
+            let nn = t.knn(&Point::new(vec![0.5; 5]), 1, &L2).unwrap();
+            assert_eq!(nn[0].0, 9000);
+        }
+        std::fs::remove_file(&pages).ok();
+        std::fs::remove_file(&meta).ok();
+    }
+
+    #[test]
+    fn open_rejects_garbage_catalog() {
+        let pages = tmp("bad.pages");
+        let meta = tmp("bad.meta");
+        let _ = FileStorage::create(&pages, 512).unwrap();
+        std::fs::write(&meta, b"definitely not a catalog").unwrap();
+        assert!(HybridTree::open(&pages, &meta).is_err());
+        std::fs::write(&meta, b"HY").unwrap();
+        assert!(HybridTree::open(&pages, &meta).is_err());
+        std::fs::remove_file(&pages).ok();
+        std::fs::remove_file(&meta).ok();
+    }
+
+    #[test]
+    fn config_roundtrips_through_catalog() {
+        let pages = tmp("cfg.pages");
+        let meta = tmp("cfg.meta");
+        let cfg = HybridTreeConfig {
+            page_size: 1024,
+            min_fill: 0.25,
+            els_bits: 7,
+            split_policy: SplitPolicy::Vam,
+            query_size: QuerySizeDist::Fixed(0.125),
+            pool_pages: 33,
+        };
+        {
+            let storage = FileStorage::create(&pages, 1024).unwrap();
+            let mut t = HybridTree::with_storage(3, cfg.clone(), storage).unwrap();
+            t.insert(Point::new(vec![0.1, 0.2, 0.3]), 1).unwrap();
+            t.persist(&meta).unwrap();
+        }
+        let t = HybridTree::open(&pages, &meta).unwrap();
+        let got = t.config();
+        assert_eq!(got.page_size, cfg.page_size);
+        assert_eq!(got.min_fill, cfg.min_fill);
+        assert_eq!(got.els_bits, cfg.els_bits);
+        assert_eq!(got.split_policy, cfg.split_policy);
+        assert_eq!(got.query_size, cfg.query_size);
+        assert_eq!(got.pool_pages, cfg.pool_pages);
+        std::fs::remove_file(&pages).ok();
+        std::fs::remove_file(&meta).ok();
+    }
+}

@@ -1,0 +1,1214 @@
+//! The hybrid tree proper: construction, insertion, deletion, and search.
+
+use crate::config::HybridTreeConfig;
+use crate::els::ElsTable;
+use crate::kdtree::KdTree;
+use crate::node::{data_capacity, DataEntry, Node, INDEX_HEADER_BYTES};
+use crate::view::NodeView;
+use crate::split::{build_kd, split_data, split_index};
+use hyt_geom::{Coord, Metric, Point, Rect};
+use hyt_index::{check_dim, IndexError, IndexResult, MultidimIndex, StructureStats};
+use hyt_page::{BufferPool, IoStats, MemStorage, PageId, Storage};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A split propagating up from a child: the child kept the lower half and
+/// `new_page` received the upper half, separated along `dim` with split
+/// positions `lsp`/`rsp`.
+struct SplitPost {
+    dim: u16,
+    lsp: Coord,
+    rsp: Coord,
+    new_page: PageId,
+}
+
+/// Outcome of a recursive delete.
+enum DelOutcome {
+    /// No matching entry beneath this node.
+    NotFound,
+    /// Entry removed; carries data entries orphaned by eliminated nodes.
+    Done(Vec<DataEntry>),
+    /// Entry removed *and* this node fell below utilization and was
+    /// dissolved; the caller must unlink and free it.
+    Eliminated(Vec<DataEntry>),
+}
+
+/// The hybrid tree (paper §3): a paged feature-space index with 1-d
+/// splits, kd-tree intra-node organization, overlapping partitions when
+/// clean splits would cascade, EDA-optimal split selection, and encoded
+/// live space dead-space elimination.
+///
+/// See the [crate docs](crate) for an overview and example.
+pub struct HybridTree<S: Storage = MemStorage> {
+    pub(crate) pool: BufferPool<S>,
+    pub(crate) root: PageId,
+    /// Number of levels; 1 means the root is a data node.
+    pub(crate) height: usize,
+    pub(crate) dim: usize,
+    pub(crate) len: usize,
+    pub(crate) cfg: HybridTreeConfig,
+    /// Max entries per data node (derived from the page size).
+    pub(crate) data_cap: usize,
+    /// Utilization quota for data nodes.
+    pub(crate) data_min: usize,
+    /// Bounding box of everything ever inserted (the root's region).
+    pub(crate) global_br: Option<Rect>,
+    pub(crate) els: ElsTable,
+    rr_state: usize,
+}
+
+impl HybridTree<MemStorage> {
+    /// Creates an empty tree over in-memory pages.
+    pub fn new(dim: usize, cfg: HybridTreeConfig) -> IndexResult<Self> {
+        let storage = MemStorage::with_page_size(cfg.page_size);
+        Self::with_storage(dim, cfg, storage)
+    }
+}
+
+impl<S: Storage> HybridTree<S> {
+    /// Creates an empty tree over the given page store (e.g. a
+    /// [`FileStorage`](hyt_page::FileStorage) for an on-disk index).
+    pub fn with_storage(dim: usize, cfg: HybridTreeConfig, storage: S) -> IndexResult<Self> {
+        cfg.validate().map_err(IndexError::Internal)?;
+        if dim == 0 || dim > u16::MAX as usize {
+            return Err(IndexError::Internal(format!("unsupported dimensionality {dim}")));
+        }
+        if storage.page_size() != cfg.page_size {
+            return Err(IndexError::Internal(format!(
+                "storage page size {} != configured {}",
+                storage.page_size(),
+                cfg.page_size
+            )));
+        }
+        let data_cap = data_capacity(cfg.page_size, dim);
+        if data_cap < 2 {
+            return Err(IndexError::Internal(format!(
+                "page size {} cannot hold 2 entries of dimension {dim}",
+                cfg.page_size
+            )));
+        }
+        let data_min = ((cfg.min_fill * data_cap as f64).floor() as usize).max(1);
+        let els = ElsTable::new(dim, cfg.els_bits);
+        let mut pool = BufferPool::new(storage, cfg.pool_pages);
+        let root = pool.allocate()?;
+        let empty = Node::Data(Vec::new());
+        pool.write(root, &empty.encode(dim))?;
+        Ok(Self {
+            pool,
+            root,
+            height: 1,
+            dim,
+            len: 0,
+            cfg,
+            data_cap,
+            data_min,
+            global_br: None,
+            els,
+            rr_state: 0,
+        })
+    }
+
+    /// Assembles a tree from parts already written to storage (the bulk
+    /// loader's back door; invariants are the caller's responsibility
+    /// and are checked by its tests).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        pool: BufferPool<S>,
+        root: PageId,
+        height: usize,
+        dim: usize,
+        len: usize,
+        cfg: HybridTreeConfig,
+        data_cap: usize,
+        data_min: usize,
+        global_br: Option<Rect>,
+        els: ElsTable,
+    ) -> Self {
+        Self {
+            pool,
+            root,
+            height,
+            dim,
+            len,
+            cfg,
+            data_cap,
+            data_min,
+            global_br,
+            els,
+            rr_state: 0,
+        }
+    }
+
+    /// The tree's configuration.
+    pub fn config(&self) -> &HybridTreeConfig {
+        &self.cfg
+    }
+
+    /// Height in levels (1 = the root is a data node).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Max entries per data page (the paper's dimensionality-dependent
+    /// leaf capacity; e.g. 15 for 64-d vectors on 4 KiB pages).
+    pub fn data_capacity(&self) -> usize {
+        self.data_cap
+    }
+
+    /// Bytes the memory-resident ELS table would occupy when quantized
+    /// (the paper's <1%-of-database overhead figure).
+    pub fn els_overhead_bytes(&self) -> usize {
+        self.els.encoded_bytes()
+    }
+
+    /// Exact-match query: oids of entries whose point equals `p`.
+    pub fn point_query(&mut self, p: &Point) -> IndexResult<Vec<u64>> {
+        check_dim(self.dim, p.dim())?;
+        if self.len == 0 {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        let mut kids = Vec::new();
+        while let Some(pid) = stack.pop() {
+            let buf = self.pool.read(pid)?;
+            match NodeView::parse(&buf, self.dim)? {
+                NodeView::Data(view) => view.filter_point(p, &mut out),
+                NodeView::Index(view) => {
+                    kids.clear();
+                    view.children_containing_point(p, &mut kids)?;
+                    stack.extend(kids.iter().filter(|c| self.els.may_contain(**c, p)));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Runs the full structural invariant checker (containment,
+    /// utilization, page-size, ELS conservativeness, level consistency,
+    /// entry count). Intended for tests; `O(size of tree)`.
+    pub fn check_invariants(&mut self) -> IndexResult<()> {
+        crate::verify::check(self)
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    pub(crate) fn root_region(&self) -> Rect {
+        self.global_br
+            .clone()
+            .unwrap_or_else(|| Rect::from_point(&Point::origin(self.dim)))
+    }
+
+    pub(crate) fn read_node(&mut self, pid: PageId) -> IndexResult<Node> {
+        let buf = self.pool.read(pid)?;
+        Ok(Node::decode(&buf, self.dim)?)
+    }
+
+    fn write_node(&mut self, pid: PageId, node: &Node) -> IndexResult<()> {
+        let buf = node.encode(self.dim);
+        if buf.len() > self.cfg.page_size {
+            return Err(IndexError::Internal(format!(
+                "node for {pid} is {} bytes, page is {} — missing split",
+                buf.len(),
+                self.cfg.page_size
+            )));
+        }
+        self.pool.write(pid, &buf)?;
+        Ok(())
+    }
+
+    fn insert_entry(&mut self, point: Point, oid: u64) -> IndexResult<()> {
+        match &mut self.global_br {
+            Some(r) => r.extend_to_point(&point),
+            None => self.global_br = Some(Rect::from_point(&point)),
+        }
+        let region = self.root_region();
+        if let Some(post) = self.insert_rec(self.root, &region, &point, oid)? {
+            // Root split: grow the tree by one level.
+            let new_level = self.height as u16;
+            let kd = KdTree::split(
+                post.dim,
+                post.lsp,
+                post.rsp,
+                KdTree::leaf(self.root),
+                KdTree::leaf(post.new_page),
+            );
+            let new_root = self.pool.allocate()?;
+            self.write_node(new_root, &Node::Index { level: new_level, kd })?;
+            self.root = new_root;
+            self.height += 1;
+        }
+        Ok(())
+    }
+
+    fn insert_rec(
+        &mut self,
+        pid: PageId,
+        region: &Rect,
+        p: &Point,
+        oid: u64,
+    ) -> IndexResult<Option<SplitPost>> {
+        match self.read_node(pid)? {
+            Node::Data(mut entries) => {
+                entries.push(DataEntry {
+                    point: p.clone(),
+                    oid,
+                });
+                if entries.len() > self.data_cap {
+                    let ds = split_data(
+                        entries,
+                        region,
+                        self.dim,
+                        self.data_min,
+                        self.cfg.split_policy,
+                        &mut self.rr_state,
+                    );
+                    let new_pid = self.pool.allocate()?;
+                    let d = ds.dim as usize;
+                    self.els.set_from_points(
+                        pid,
+                        ds.left.iter().map(|e| &e.point),
+                        &region.clamp_above(d, ds.pos),
+                    );
+                    self.els.set_from_points(
+                        new_pid,
+                        ds.right.iter().map(|e| &e.point),
+                        &region.clamp_below(d, ds.pos),
+                    );
+                    self.write_node(pid, &Node::Data(ds.left))?;
+                    self.write_node(new_pid, &Node::Data(ds.right))?;
+                    Ok(Some(SplitPost {
+                        dim: ds.dim,
+                        lsp: ds.pos,
+                        rsp: ds.pos,
+                        new_page: new_pid,
+                    }))
+                } else {
+                    self.write_node(pid, &Node::Data(entries))?;
+                    Ok(None)
+                }
+            }
+            Node::Index { level, mut kd } => {
+                let choice = kd.choose_insert_leaf(region, p);
+                match self.insert_rec(choice.child, &choice.region, p, oid)? {
+                    Some(post) => {
+                        // Post the child split: the kd leaf becomes an
+                        // internal kd node over the two halves.
+                        let replaced = kd.replace_leaf(
+                            choice.child,
+                            KdTree::split(
+                                post.dim,
+                                post.lsp,
+                                post.rsp,
+                                KdTree::leaf(choice.child),
+                                KdTree::leaf(post.new_page),
+                            ),
+                        );
+                        debug_assert!(replaced, "split child not found in parent kd-tree");
+                        if INDEX_HEADER_BYTES + kd.encoded_size() > self.cfg.page_size {
+                            self.split_index_node(pid, level, kd, region).map(Some)
+                        } else {
+                            self.write_node(pid, &Node::Index { level, kd })?;
+                            Ok(None)
+                        }
+                    }
+                    None => {
+                        self.els.extend(choice.child, p, &choice.region);
+                        if choice.enlarged {
+                            self.write_node(pid, &Node::Index { level, kd })?;
+                        }
+                        Ok(None)
+                    }
+                }
+            }
+        }
+    }
+
+    fn split_index_node(
+        &mut self,
+        pid: PageId,
+        level: u16,
+        kd: KdTree,
+        region: &Rect,
+    ) -> IndexResult<SplitPost> {
+        let children = kd.children_with_regions(region);
+        let candidates = kd.split_dims();
+        let n = children.len();
+        let m = ((self.cfg.min_fill * n as f64).floor() as usize).max(1);
+        let is = if self.cfg.split_policy == crate::config::SplitPolicy::Vam {
+            // Figure 5(a,b) comparator: VAMSplit at every level.
+            crate::split::split_index_vam(&children, m)
+        } else {
+            split_index(&children, region, &candidates, m, &self.cfg.query_size)
+        };
+        // Each side keeps the pruned original kd structure (no rebuild —
+        // rebuilding would manufacture overlap the incremental structure
+        // never had). Fall back to a fresh build only if pruning fails.
+        let keep_left: std::collections::HashSet<_> = is.left.iter().map(|(p, _)| *p).collect();
+        let keep_right: std::collections::HashSet<_> = is.right.iter().map(|(p, _)| *p).collect();
+        let kd_left = kd
+            .restricted_to(&keep_left)
+            .unwrap_or_else(|| build_kd(&is.left, &self.cfg.query_size));
+        let kd_right = kd
+            .restricted_to(&keep_right)
+            .unwrap_or_else(|| build_kd(&is.right, &self.cfg.query_size));
+        let new_pid = self.pool.allocate()?;
+
+        // Live space of each half = union of its children's live spaces.
+        let live_of = |els: &ElsTable, group: &[(PageId, Rect)]| -> Vec<Rect> {
+            group
+                .iter()
+                .map(|(cpid, creg)| els.exact_live(*cpid).unwrap_or_else(|| creg.clone()))
+                .collect()
+        };
+        let left_live = live_of(&self.els, &is.left);
+        let right_live = live_of(&self.els, &is.right);
+        let d = is.dim as usize;
+        self.els
+            .set_from_rects(pid, left_live.iter(), &region.clamp_above(d, is.lsp));
+        self.els
+            .set_from_rects(new_pid, right_live.iter(), &region.clamp_below(d, is.rsp));
+
+        self.write_node(pid, &Node::Index { level, kd: kd_left })?;
+        self.write_node(new_pid, &Node::Index { level, kd: kd_right })?;
+        Ok(SplitPost {
+            dim: is.dim,
+            lsp: is.lsp,
+            rsp: is.rsp,
+            new_page: new_pid,
+        })
+    }
+
+    fn delete_rec(
+        &mut self,
+        pid: PageId,
+        region: &Rect,
+        p: &Point,
+        oid: u64,
+        is_root: bool,
+    ) -> IndexResult<DelOutcome> {
+        match self.read_node(pid)? {
+            Node::Data(mut entries) => {
+                let Some(i) = entries
+                    .iter()
+                    .position(|e| e.oid == oid && e.point.same_coords(p))
+                else {
+                    return Ok(DelOutcome::NotFound);
+                };
+                entries.swap_remove(i);
+                if !is_root && entries.len() < self.data_min {
+                    // Eliminate-and-reinsert (paper §3.5, after [11]).
+                    return Ok(DelOutcome::Eliminated(entries));
+                }
+                self.els
+                    .set_from_points(pid, entries.iter().map(|e| &e.point), region);
+                self.write_node(pid, &Node::Data(entries))?;
+                Ok(DelOutcome::Done(Vec::new()))
+            }
+            Node::Index { level, mut kd } => {
+                for (child, child_region) in kd.children_containing_point(region, p) {
+                    if !self.els.may_contain(child, p) {
+                        continue;
+                    }
+                    match self.delete_rec(child, &child_region, p, oid, false)? {
+                        DelOutcome::NotFound => continue,
+                        DelOutcome::Done(orphans) => return Ok(DelOutcome::Done(orphans)),
+                        DelOutcome::Eliminated(mut orphans) => {
+                            self.pool.free(child)?;
+                            self.els.remove(child);
+                            if !kd.remove_leaf(child) {
+                                // kd was a single leaf: this node is empty.
+                                debug_assert_eq!(kd.fanout(), 1);
+                                if is_root {
+                                    self.write_node(pid, &Node::Data(Vec::new()))?;
+                                    self.height = 1;
+                                    return Ok(DelOutcome::Done(orphans));
+                                }
+                                return Ok(DelOutcome::Eliminated(orphans));
+                            }
+                            if kd.fanout() < 2 && !is_root {
+                                // Dissolve the underflowing directory node;
+                                // its remaining subtree reinserts from data.
+                                let rest = kd.child_ids()[0];
+                                orphans.extend(self.collect_and_free(rest)?);
+                                return Ok(DelOutcome::Eliminated(orphans));
+                            }
+                            self.write_node(pid, &Node::Index { level, kd })?;
+                            return Ok(DelOutcome::Done(orphans));
+                        }
+                    }
+                }
+                Ok(DelOutcome::NotFound)
+            }
+        }
+    }
+
+    /// Frees an entire subtree, returning its data entries for reinsertion.
+    fn collect_and_free(&mut self, pid: PageId) -> IndexResult<Vec<DataEntry>> {
+        let mut out = Vec::new();
+        let mut stack = vec![pid];
+        while let Some(pid) = stack.pop() {
+            match self.read_node(pid)? {
+                Node::Data(entries) => out.extend(entries),
+                Node::Index { kd, .. } => stack.extend(kd.child_ids()),
+            }
+            self.pool.free(pid)?;
+            self.els.remove(pid);
+        }
+        Ok(out)
+    }
+
+    fn maybe_shrink_root(&mut self) -> IndexResult<()> {
+        while self.height > 1 {
+            let node = self.read_node(self.root)?;
+            match node {
+                Node::Index { kd, .. } if kd.fanout() == 1 => {
+                    let child = kd.child_ids()[0];
+                    self.pool.free(self.root)?;
+                    self.els.remove(self.root);
+                    self.els.remove(child); // the new root needs no entry
+                    self.root = child;
+                    self.height -= 1;
+                }
+                _ => break,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Max-heap item for kNN result maintenance.
+struct HeapHit {
+    dist: f64,
+    oid: u64,
+}
+
+impl PartialEq for HeapHit {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.oid == other.oid
+    }
+}
+impl Eq for HeapHit {}
+impl PartialOrd for HeapHit {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapHit {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist
+            .total_cmp(&other.dist)
+            .then(self.oid.cmp(&other.oid))
+    }
+}
+
+/// Min-heap item for best-first node expansion.
+struct PqNode {
+    dist: f64,
+    pid: PageId,
+    region: Rect,
+}
+
+impl PartialEq for PqNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.pid == other.pid
+    }
+}
+impl Eq for PqNode {}
+impl PartialOrd for PqNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PqNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want smallest dist first.
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then(other.pid.cmp(&self.pid))
+    }
+}
+
+impl<S: Storage> MultidimIndex for HybridTree<S> {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn insert(&mut self, point: Point, oid: u64) -> IndexResult<()> {
+        check_dim(self.dim, point.dim())?;
+        self.insert_entry(point, oid)?;
+        self.len += 1;
+        Ok(())
+    }
+
+    fn delete(&mut self, point: &Point, oid: u64) -> IndexResult<bool> {
+        check_dim(self.dim, point.dim())?;
+        if self.len == 0 {
+            return Ok(false);
+        }
+        let region = self.root_region();
+        match self.delete_rec(self.root, &region, point, oid, true)? {
+            DelOutcome::NotFound => Ok(false),
+            DelOutcome::Done(orphans) => {
+                self.len -= 1;
+                self.maybe_shrink_root()?;
+                for e in orphans {
+                    self.insert_entry(e.point, e.oid)?;
+                }
+                Ok(true)
+            }
+            DelOutcome::Eliminated(_) => Err(IndexError::Internal(
+                "root node cannot be eliminated".into(),
+            )),
+        }
+    }
+
+    fn box_query(&mut self, rect: &Rect) -> IndexResult<Vec<u64>> {
+        check_dim(self.dim, rect.dim())?;
+        if self.len == 0 {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        let mut kids = Vec::new();
+        while let Some(pid) = stack.pop() {
+            let buf = self.pool.read(pid)?;
+            // Navigate the serialized node in place (paper §3.1: kd-based
+            // intra-node search beats scanning an array of BRs).
+            match NodeView::parse(&buf, self.dim)? {
+                NodeView::Data(view) => view.filter_box(rect, &mut out),
+                NodeView::Index(view) => {
+                    // Two-step overlap check (paper §3.4): the kd split
+                    // positions prune first; the quantized live-space BR
+                    // is consulted only for children that survive.
+                    kids.clear();
+                    view.children_overlapping_box(rect, &mut kids)?;
+                    stack.extend(kids.iter().filter(|c| self.els.may_intersect(**c, rect)));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn distance_range(
+        &mut self,
+        q: &Point,
+        radius: f64,
+        metric: &dyn Metric,
+    ) -> IndexResult<Vec<u64>> {
+        check_dim(self.dim, q.dim())?;
+        if self.len == 0 {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        if self.els.enabled() {
+            // Region-free traversal: prune each child with its quantized
+            // live-space box (absolute coordinates, zero allocation).
+            let mut stack = vec![self.root];
+            let mut kids = Vec::new();
+            while let Some(pid) = stack.pop() {
+                let buf = self.pool.read(pid)?;
+                match NodeView::parse(&buf, self.dim)? {
+                    NodeView::Index(view) => {
+                        kids.clear();
+                        view.child_ids(&mut kids)?;
+                        for &child in &kids {
+                            let d = self
+                                .els
+                                .quant_rect(child)
+                                .map_or(0.0, |r| metric.min_dist_rect(q, r));
+                            if d <= radius {
+                                stack.push(child);
+                            }
+                        }
+                    }
+                    NodeView::Data(_) => {
+                        let Node::Data(entries) = Node::decode(&buf, self.dim)? else {
+                            unreachable!()
+                        };
+                        out.extend(
+                            entries
+                                .iter()
+                                .filter(|e| metric.distance(q, &e.point) <= radius)
+                                .map(|e| e.oid),
+                        );
+                    }
+                }
+            }
+            return Ok(out);
+        }
+        // ELS disabled: prune with kd-regions tracked down the tree.
+        let region = self.root_region();
+        let mut stack = vec![(self.root, region)];
+        while let Some((pid, region)) = stack.pop() {
+            match self.read_node(pid)? {
+                Node::Data(entries) => out.extend(
+                    entries
+                        .iter()
+                        .filter(|e| metric.distance(q, &e.point) <= radius)
+                        .map(|e| e.oid),
+                ),
+                Node::Index { kd, .. } => {
+                    for (child, child_region) in kd.children_with_regions(&region) {
+                        if metric.min_dist_rect(q, &child_region) <= radius {
+                            stack.push((child, child_region));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn knn(&mut self, q: &Point, k: usize, metric: &dyn Metric) -> IndexResult<Vec<(u64, f64)>> {
+        check_dim(self.dim, q.dim())?;
+        if k == 0 || self.len == 0 {
+            return Ok(Vec::new());
+        }
+        let mut pq: BinaryHeap<PqNode> = BinaryHeap::new();
+        let mut best: BinaryHeap<HeapHit> = BinaryHeap::new();
+        pq.push(PqNode {
+            dist: 0.0,
+            pid: self.root,
+            region: self.root_region(),
+        });
+        while let Some(item) = pq.pop() {
+            if best.len() == k && item.dist > best.peek().unwrap().dist {
+                break;
+            }
+            match self.read_node(item.pid)? {
+                Node::Data(entries) => {
+                    for e in entries {
+                        let d = metric.distance(q, &e.point);
+                        if best.len() < k {
+                            best.push(HeapHit { dist: d, oid: e.oid });
+                        } else if d < best.peek().unwrap().dist {
+                            best.pop();
+                            best.push(HeapHit { dist: d, oid: e.oid });
+                        }
+                    }
+                }
+                Node::Index { kd, .. } => {
+                    if self.els.enabled() {
+                        // Quantized live boxes bound every child; regions
+                        // are not needed.
+                        for child in kd.child_ids() {
+                            let d = self
+                                .els
+                                .quant_rect(child)
+                                .map_or(0.0, |r| metric.min_dist_rect(q, r));
+                            if best.len() < k || d <= best.peek().unwrap().dist {
+                                pq.push(PqNode {
+                                    dist: d,
+                                    pid: child,
+                                    region: item.region.clone(),
+                                });
+                            }
+                        }
+                    } else {
+                        for (child, child_region) in kd.children_with_regions(&item.region) {
+                            let d = metric.min_dist_rect(q, &child_region);
+                            if best.len() < k || d <= best.peek().unwrap().dist {
+                                pq.push(PqNode {
+                                    dist: d,
+                                    pid: child,
+                                    region: child_region,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut hits: Vec<(u64, f64)> = best.into_iter().map(|h| (h.oid, h.dist)).collect();
+        hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        Ok(hits)
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.pool.stats()
+    }
+
+    fn reset_io_stats(&mut self) {
+        self.pool.reset_stats();
+    }
+
+    fn structure_stats(&mut self) -> IndexResult<StructureStats> {
+        crate::stats::compute(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SplitPolicy;
+    use hyt_geom::{L1, L2};
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn small_cfg() -> HybridTreeConfig {
+        HybridTreeConfig {
+            page_size: 256, // tiny pages force deep trees in tests
+            ..HybridTreeConfig::default()
+        }
+    }
+
+    fn rand_points(n: usize, dim: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new((0..dim).map(|_| rng.gen::<f32>()).collect()))
+            .collect()
+    }
+
+    fn build(points: &[Point], cfg: HybridTreeConfig) -> HybridTree {
+        let dim = points[0].dim();
+        let mut t = HybridTree::new(dim, cfg).unwrap();
+        for (i, p) in points.iter().enumerate() {
+            t.insert(p.clone(), i as u64).unwrap();
+        }
+        t
+    }
+
+    fn brute_box(points: &[Point], rect: &Rect) -> Vec<u64> {
+        let mut v: Vec<u64> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| rect.contains_point(p))
+            .map(|(i, _)| i as u64)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let mut t = HybridTree::new(3, small_cfg()).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.box_query(&Rect::unit(3)).unwrap(), Vec::<u64>::new());
+        assert_eq!(t.knn(&Point::origin(3), 5, &L2).unwrap().len(), 0);
+        assert!(!t.delete(&Point::origin(3), 0).unwrap());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn single_insert_and_point_query() {
+        let mut t = HybridTree::new(2, small_cfg()).unwrap();
+        let p = Point::new(vec![0.25, 0.75]);
+        t.insert(p.clone(), 7).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.point_query(&p).unwrap(), vec![7]);
+        assert!(t.point_query(&Point::new(vec![0.5, 0.5])).unwrap().is_empty());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut t = HybridTree::new(2, small_cfg()).unwrap();
+        assert!(matches!(
+            t.insert(Point::origin(3), 0),
+            Err(IndexError::DimensionMismatch { .. })
+        ));
+        assert!(t.box_query(&Rect::unit(3)).is_err());
+    }
+
+    #[test]
+    fn page_too_small_for_dimension_rejected() {
+        let cfg = HybridTreeConfig {
+            page_size: 64,
+            ..HybridTreeConfig::default()
+        };
+        // 64-byte pages cannot hold two 32-d entries (136 bytes each).
+        assert!(HybridTree::new(32, cfg).is_err());
+    }
+
+    #[test]
+    fn splits_grow_tree_and_preserve_entries() {
+        let pts = rand_points(500, 2, 1);
+        let mut t = build(&pts, small_cfg());
+        assert!(t.height() > 1, "500 points on 256-byte pages must split");
+        t.check_invariants().unwrap();
+        for (i, p) in pts.iter().enumerate() {
+            assert!(
+                t.point_query(p).unwrap().contains(&(i as u64)),
+                "point {i} lost after splits"
+            );
+        }
+    }
+
+    #[test]
+    fn box_query_matches_brute_force() {
+        let pts = rand_points(800, 3, 2);
+        let mut t = build(&pts, small_cfg());
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..40 {
+            let lo: Vec<f32> = (0..3).map(|_| rng.gen::<f32>() * 0.8).collect();
+            let hi: Vec<f32> = lo.iter().map(|l| l + 0.2).collect();
+            let rect = Rect::new(lo, hi);
+            let mut got = t.box_query(&rect).unwrap();
+            got.sort_unstable();
+            assert_eq!(got, brute_box(&pts, &rect));
+        }
+    }
+
+    #[test]
+    fn distance_range_matches_brute_force() {
+        let pts = rand_points(600, 4, 4);
+        let mut t = build(&pts, small_cfg());
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..25 {
+            let q = Point::new((0..4).map(|_| rng.gen::<f32>()).collect());
+            for metric in [&L1 as &dyn Metric, &L2] {
+                let radius = 0.4;
+                let mut got = t.distance_range(&q, radius, metric).unwrap();
+                got.sort_unstable();
+                let mut want: Vec<u64> = pts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| metric.distance(&q, p) <= radius)
+                    .map(|(i, _)| i as u64)
+                    .collect();
+                want.sort_unstable();
+                assert_eq!(got, want, "metric {}", metric.name());
+            }
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let pts = rand_points(400, 3, 6);
+        let mut t = build(&pts, small_cfg());
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..25 {
+            let q = Point::new((0..3).map(|_| rng.gen::<f32>()).collect());
+            let k = rng.gen_range(1..20);
+            let got = t.knn(&q, k, &L2).unwrap();
+            assert_eq!(got.len(), k.min(pts.len()));
+            let mut want: Vec<f64> = pts.iter().map(|p| L2.distance(&q, p)).collect();
+            want.sort_by(f64::total_cmp);
+            for (i, (_, d)) in got.iter().enumerate() {
+                assert!(
+                    (d - want[i]).abs() < 1e-9,
+                    "k={k} neighbor {i}: got {d}, want {}",
+                    want[i]
+                );
+            }
+            // Distances must be non-decreasing.
+            for w in got.windows(2) {
+                assert!(w[0].1 <= w[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn knn_with_k_larger_than_n() {
+        let pts = rand_points(10, 2, 8);
+        let mut t = build(&pts, small_cfg());
+        let got = t.knn(&Point::new(vec![0.5, 0.5]), 50, &L2).unwrap();
+        assert_eq!(got.len(), 10);
+    }
+
+    #[test]
+    fn duplicate_points_are_all_retrievable() {
+        let mut t = HybridTree::new(2, small_cfg()).unwrap();
+        let p = Point::new(vec![0.5, 0.5]);
+        for i in 0..100 {
+            t.insert(p.clone(), i).unwrap();
+        }
+        let mut got = t.point_query(&p).unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn delete_removes_exactly_one_entry() {
+        let pts = rand_points(300, 2, 9);
+        let mut t = build(&pts, small_cfg());
+        assert!(t.delete(&pts[42], 42).unwrap());
+        assert_eq!(t.len(), 299);
+        assert!(t.point_query(&pts[42]).unwrap().is_empty());
+        // Deleting again reports absence.
+        assert!(!t.delete(&pts[42], 42).unwrap());
+        // Mismatched oid does not delete.
+        assert!(!t.delete(&pts[43], 999).unwrap());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn delete_everything_then_reuse() {
+        let pts = rand_points(400, 2, 10);
+        let mut t = build(&pts, small_cfg());
+        let mut order: Vec<usize> = (0..pts.len()).collect();
+        let mut rng = StdRng::seed_from_u64(11);
+        order.shuffle(&mut rng);
+        for (step, &i) in order.iter().enumerate() {
+            assert!(t.delete(&pts[i], i as u64).unwrap(), "delete {i}");
+            if step % 57 == 0 {
+                t.check_invariants().unwrap();
+            }
+        }
+        assert!(t.is_empty());
+        t.check_invariants().unwrap();
+        // The tree remains usable after total deletion.
+        t.insert(Point::new(vec![0.3, 0.3]), 1).unwrap();
+        assert_eq!(t.point_query(&Point::new(vec![0.3, 0.3])).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn interleaved_inserts_deletes_queries() {
+        let pts = rand_points(600, 3, 12);
+        let mut t = HybridTree::new(3, small_cfg()).unwrap();
+        let mut live: Vec<bool> = vec![false; pts.len()];
+        let mut rng = StdRng::seed_from_u64(13);
+        // Insert the first half.
+        for i in 0..300 {
+            t.insert(pts[i].clone(), i as u64).unwrap();
+            live[i] = true;
+        }
+        // Interleave.
+        for i in 300..600 {
+            t.insert(pts[i].clone(), i as u64).unwrap();
+            live[i] = true;
+            let victim = rng.gen_range(0..i);
+            if live[victim] {
+                assert!(t.delete(&pts[victim], victim as u64).unwrap());
+                live[victim] = false;
+            }
+        }
+        t.check_invariants().unwrap();
+        let rect = Rect::new(vec![0.2; 3], vec![0.7; 3]);
+        let mut got = t.box_query(&rect).unwrap();
+        got.sort_unstable();
+        let mut want: Vec<u64> = pts
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| live[*i] && rect.contains_point(p))
+            .map(|(i, _)| i as u64)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn clustered_data_exercises_overlap_splits() {
+        // Tight clusters force overlapping index splits; correctness must
+        // be unaffected.
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut pts = Vec::new();
+        for c in 0..5 {
+            let center: Vec<f32> = (0..4).map(|_| 0.2 * c as f32 + 0.1).collect();
+            for _ in 0..150 {
+                pts.push(Point::new(
+                    center
+                        .iter()
+                        .map(|&x| x + rng.gen::<f32>() * 0.01)
+                        .collect(),
+                ));
+            }
+        }
+        let mut t = build(&pts, small_cfg());
+        t.check_invariants().unwrap();
+        for (i, p) in pts.iter().enumerate().step_by(17) {
+            assert!(t.point_query(p).unwrap().contains(&(i as u64)));
+        }
+    }
+
+    #[test]
+    fn els_disabled_still_correct() {
+        let cfg = HybridTreeConfig {
+            els_bits: 0,
+            ..small_cfg()
+        };
+        let pts = rand_points(500, 3, 15);
+        let mut t = build(&pts, cfg);
+        t.check_invariants().unwrap();
+        let rect = Rect::new(vec![0.1; 3], vec![0.4; 3]);
+        let mut got = t.box_query(&rect).unwrap();
+        got.sort_unstable();
+        assert_eq!(got, brute_box(&pts, &rect));
+        assert_eq!(t.els_overhead_bytes(), 0);
+    }
+
+    #[test]
+    fn els_reduces_accesses_on_clustered_data() {
+        // Clustered data leaves much dead space; ELS should prune it.
+        let mut rng = StdRng::seed_from_u64(16);
+        let mut pts = Vec::new();
+        for c in 0..8 {
+            for _ in 0..100 {
+                let base = c as f32 / 8.0;
+                pts.push(Point::new(
+                    (0..4)
+                        .map(|_| base + rng.gen::<f32>() * 0.02)
+                        .collect(),
+                ));
+            }
+        }
+        let queries: Vec<Rect> = (0..30)
+            .map(|_| {
+                let lo: Vec<f32> = (0..4).map(|_| rng.gen::<f32>() * 0.9).collect();
+                let hi: Vec<f32> = lo.iter().map(|l| l + 0.1).collect();
+                Rect::new(lo, hi)
+            })
+            .collect();
+        let run = |bits: u8| -> u64 {
+            let cfg = HybridTreeConfig {
+                els_bits: bits,
+                ..small_cfg()
+            };
+            let mut t = build(&pts, cfg);
+            t.reset_io_stats();
+            for q in &queries {
+                t.box_query(q).unwrap();
+            }
+            t.io_stats().logical_reads
+        };
+        let without = run(0);
+        let with = run(4);
+        assert!(
+            with <= without,
+            "ELS must not increase accesses: {with} vs {without}"
+        );
+    }
+
+    #[test]
+    fn vam_and_round_robin_policies_remain_correct() {
+        for policy in [SplitPolicy::Vam, SplitPolicy::RoundRobin] {
+            let cfg = HybridTreeConfig {
+                split_policy: policy,
+                ..small_cfg()
+            };
+            let pts = rand_points(400, 3, 17);
+            let mut t = build(&pts, cfg);
+            t.check_invariants().unwrap();
+            let rect = Rect::new(vec![0.3; 3], vec![0.6; 3]);
+            let mut got = t.box_query(&rect).unwrap();
+            got.sort_unstable();
+            assert_eq!(got, brute_box(&pts, &rect), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn io_stats_count_queries() {
+        let pts = rand_points(500, 2, 18);
+        let mut t = build(&pts, small_cfg());
+        t.reset_io_stats();
+        assert_eq!(t.io_stats().logical_reads, 0);
+        t.box_query(&Rect::new(vec![0.4, 0.4], vec![0.6, 0.6]))
+            .unwrap();
+        let s = t.io_stats();
+        assert!(s.logical_reads > 0);
+        // Cold-cache accounting: every logical read is physical.
+        assert_eq!(s.logical_reads, s.physical_reads);
+    }
+
+    #[test]
+    fn buffer_pool_reduces_physical_reads() {
+        let cfg = HybridTreeConfig {
+            pool_pages: 64,
+            ..small_cfg()
+        };
+        let pts = rand_points(500, 2, 19);
+        let mut t = build(&pts, cfg);
+        t.reset_io_stats();
+        for _ in 0..3 {
+            t.box_query(&Rect::new(vec![0.4, 0.4], vec![0.6, 0.6]))
+                .unwrap();
+        }
+        let s = t.io_stats();
+        assert!(s.physical_reads < s.logical_reads);
+        assert!(s.hits > 0);
+    }
+
+    #[test]
+    fn structure_stats_are_plausible() {
+        let pts = rand_points(1000, 4, 20);
+        let mut t = build(&pts, small_cfg());
+        let st = t.structure_stats().unwrap();
+        assert_eq!(st.height, t.height());
+        assert!(st.data_nodes > 1);
+        assert_eq!(st.total_nodes, st.data_nodes + st.index_nodes);
+        assert!(st.avg_fanout >= 2.0);
+        assert!(st.avg_leaf_utilization > 0.3 && st.avg_leaf_utilization <= 1.0);
+        assert!(st.distinct_split_dims >= 1 && st.distinct_split_dims <= 4);
+        assert_eq!(st.redundant_bytes, 0);
+    }
+
+    #[test]
+    fn file_backed_tree_works() {
+        use hyt_page::FileStorage;
+        let dir = std::env::temp_dir().join(format!("hyt_tree_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tree.pages");
+        let storage = FileStorage::create(&path, 256).unwrap();
+        let cfg = small_cfg();
+        let mut t = HybridTree::with_storage(2, cfg, storage).unwrap();
+        let pts = rand_points(200, 2, 21);
+        for (i, p) in pts.iter().enumerate() {
+            t.insert(p.clone(), i as u64).unwrap();
+        }
+        t.check_invariants().unwrap();
+        let rect = Rect::new(vec![0.2, 0.2], vec![0.8, 0.8]);
+        let mut got = t.box_query(&rect).unwrap();
+        got.sort_unstable();
+        assert_eq!(got, brute_box(&pts, &rect));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn high_dimensional_tree_fanout_is_dimension_independent() {
+        // The defining property: index-node fanout does not collapse with
+        // dimensionality (paper Table 1). Compare 4-d and 32-d trees.
+        let cfg = HybridTreeConfig::default(); // 4 KiB pages
+        let fanout_at = |dim: usize| -> f64 {
+            let pts = rand_points(3000, dim, 22);
+            let mut t = HybridTree::new(dim, cfg.clone()).unwrap();
+            for (i, p) in pts.iter().enumerate() {
+                t.insert(p.clone(), i as u64).unwrap();
+            }
+            t.structure_stats().unwrap().avg_fanout
+        };
+        let f4 = fanout_at(4);
+        let f32d = fanout_at(32);
+        // An R-tree's fanout would shrink ~8x; the hybrid tree's barely
+        // moves (data-node count differs, so allow generous slack).
+        assert!(
+            f32d > f4 * 0.5,
+            "fanout collapsed with dimensionality: {f4} -> {f32d}"
+        );
+    }
+
+    #[test]
+    fn weighted_metric_at_query_time() {
+        use hyt_geom::WeightedEuclidean;
+        let pts = rand_points(300, 4, 23);
+        let mut t = build(&pts, small_cfg());
+        let q = Point::new(vec![0.5; 4]);
+        // Two different relevance-feedback weightings, same index.
+        let m1 = WeightedEuclidean::new(vec![1.0, 1.0, 1.0, 1.0]);
+        let m2 = WeightedEuclidean::new(vec![10.0, 0.1, 0.1, 0.1]);
+        for m in [&m1, &m2] {
+            let got = t.knn(&q, 5, m).unwrap();
+            let mut want: Vec<(u64, f64)> = pts
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i as u64, m.distance(&q, p)))
+                .collect();
+            want.sort_by(|a, b| a.1.total_cmp(&b.1));
+            for (i, (_, d)) in got.iter().enumerate() {
+                assert!((d - want[i].1).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Structural invariant checker (used heavily by tests and fuzzing).
+
+use crate::node::{Node, INDEX_HEADER_BYTES};
+use crate::tree::HybridTree;
+use hyt_geom::Rect;
+use hyt_index::{IndexError, IndexResult};
+use hyt_page::{PageId, Storage};
+
+/// Verifies every documented structural invariant of the tree:
+///
+/// 1. every stored point lies inside its node's kd-region chain;
+/// 2. the ELS effective region of a child contains every point beneath it
+///    (no false dismissals);
+/// 3. node levels decrease by exactly one per tree level, data nodes at
+///    level 0;
+/// 4. non-root data nodes respect the utilization quota and the capacity;
+/// 5. non-root index nodes have fanout >= 2;
+/// 6. every serialized node fits in a page;
+/// 7. the number of reachable entries equals `len()`;
+/// 8. no page is referenced twice.
+pub(crate) fn check<S: Storage>(tree: &mut HybridTree<S>) -> IndexResult<()> {
+    let root_region = tree.root_region();
+    let expected_level = (tree.height - 1) as u16;
+    let mut seen = std::collections::HashSet::new();
+    let total = check_rec(
+        tree,
+        tree.root,
+        &root_region,
+        expected_level,
+        true,
+        &mut seen,
+    )?;
+    if total != tree.len {
+        return Err(IndexError::Internal(format!(
+            "reachable entries {total} != len {}",
+            tree.len
+        )));
+    }
+    Ok(())
+}
+
+fn err(pid: PageId, msg: String) -> IndexError {
+    IndexError::Internal(format!("{pid}: {msg}"))
+}
+
+fn check_rec<S: Storage>(
+    tree: &mut HybridTree<S>,
+    pid: PageId,
+    region: &Rect,
+    expected_level: u16,
+    is_root: bool,
+    seen: &mut std::collections::HashSet<PageId>,
+) -> IndexResult<usize> {
+    if !seen.insert(pid) {
+        return Err(err(pid, "page referenced more than once".into()));
+    }
+    let node = tree.read_node(pid)?;
+    let size = node.encoded_size(tree.dim);
+    if size > tree.cfg.page_size {
+        return Err(err(pid, format!("encoded size {size} exceeds page")));
+    }
+    match node {
+        Node::Data(entries) => {
+            if expected_level != 0 {
+                return Err(err(pid, format!("data node at level {expected_level}")));
+            }
+            if entries.len() > tree.data_cap {
+                return Err(err(pid, format!("over capacity: {}", entries.len())));
+            }
+            if !is_root && entries.len() < tree.data_min {
+                return Err(err(
+                    pid,
+                    format!(
+                        "utilization violated: {} < {}",
+                        entries.len(),
+                        tree.data_min
+                    ),
+                ));
+            }
+            for e in &entries {
+                if !region.contains_point(&e.point) {
+                    return Err(err(
+                        pid,
+                        format!("point {:?} outside region {region:?}", e.point),
+                    ));
+                }
+            }
+            Ok(entries.len())
+        }
+        Node::Index { level, kd } => {
+            if level != expected_level {
+                return Err(err(
+                    pid,
+                    format!("level {level}, expected {expected_level}"),
+                ));
+            }
+            if expected_level == 0 {
+                return Err(err(pid, "index node at data level".into()));
+            }
+            let fanout = kd.fanout();
+            if fanout < 2 && !is_root {
+                return Err(err(pid, format!("fanout {fanout} < 2")));
+            }
+            if INDEX_HEADER_BYTES + kd.encoded_size() > tree.cfg.page_size {
+                return Err(err(pid, "kd-tree exceeds page".into()));
+            }
+            let mut total = 0usize;
+            for (child, child_region) in kd.children_with_regions(region) {
+                if !region.contains_rect(&child_region) {
+                    return Err(err(
+                        pid,
+                        format!("child region {child_region:?} escapes {region:?}"),
+                    ));
+                }
+                // ELS conservativeness: the effective region must contain
+                // every point beneath the child; checked by verifying all
+                // entries below fall inside it.
+                let eff = tree.els.effective_region(child, &child_region);
+                let count =
+                    check_rec(tree, child, &child_region, expected_level - 1, false, seen)?;
+                check_points_within(tree, child, &eff)?;
+                total += count;
+            }
+            Ok(total)
+        }
+    }
+}
+
+/// Asserts every data point beneath `pid` lies inside `eff`.
+fn check_points_within<S: Storage>(
+    tree: &mut HybridTree<S>,
+    pid: PageId,
+    eff: &Rect,
+) -> IndexResult<()> {
+    let mut stack = vec![pid];
+    while let Some(pid) = stack.pop() {
+        match tree.read_node(pid)? {
+            Node::Data(entries) => {
+                for e in &entries {
+                    if !eff.contains_point(&e.point) {
+                        return Err(err(
+                            pid,
+                            format!("ELS region {eff:?} misses point {:?}", e.point),
+                        ));
+                    }
+                }
+            }
+            Node::Index { kd, .. } => stack.extend(kd.child_ids()),
+        }
+    }
+    Ok(())
+}

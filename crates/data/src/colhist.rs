@@ -1,0 +1,183 @@
+//! COLHIST dataset stand-in: synthetic Corel-style color histograms.
+
+use hyt_geom::Point;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Generates `n` color histograms with `bins` bins (the paper uses 16 =
+/// 4x4, 32 = 8x4, and 64 = 8x8 binnings of color space).
+///
+/// The Corel collection the paper used is organized as stock-photo CDs
+/// of ~100 thematically similar images (sunsets, tigers, ...). The
+/// generator reproduces that structure:
+///
+/// * a Zipf-like popularity over the palette models globally common
+///   colors (skies, skin tones, foliage) — and leaves a tail of bins
+///   that almost never light up, the *non-discriminating dimensions*
+///   that implicit dimensionality reduction (Lemma 1) eliminates;
+/// * ~1 *theme* per 100 images picks 2–6 dominant bins with
+///   Dirichlet-distributed base weights;
+/// * each image perturbs its theme's weights, bleeds a fraction of each
+///   weight into a neighboring bin (quantization blur), and adds a small
+///   noise floor before L1 normalization.
+///
+/// The result is sparse, non-negative, unit-sum vectors concentrated in
+/// dense clusters — the locality that makes feature indexes useful on
+/// real image collections.
+pub fn colhist(n: usize, bins: usize, seed: u64) -> Vec<Point> {
+    assert!(bins >= 4, "needs at least 4 bins");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Palette popularity, exponentially decaying over a shuffled rank
+    // assignment so popular bins are scattered across indices.
+    let mut ranks: Vec<usize> = (0..bins).collect();
+    ranks.shuffle(&mut rng);
+    let popularity: Vec<f64> = (0..bins)
+        .map(|b| (-(ranks[b] as f64) / 4.0).exp())
+        .collect();
+    let pop_total: f64 = popularity.iter().sum();
+
+    let pick_bin = |rng: &mut StdRng| -> usize {
+        let mut t = rng.gen::<f64>() * pop_total;
+        for (b, &p) in popularity.iter().enumerate() {
+            if t < p {
+                return b;
+            }
+            t -= p;
+        }
+        bins - 1
+    };
+
+    // Themes: the CD structure of the Corel collection.
+    struct Theme {
+        bins: Vec<usize>,
+        weights: Vec<f64>,
+    }
+    let n_themes = (n / 100).max(8);
+    let themes: Vec<Theme> = (0..n_themes)
+        .map(|_| {
+            let colors = rng.gen_range(2..=6usize);
+            let bins: Vec<usize> = (0..colors).map(|_| pick_bin(&mut rng)).collect();
+            let mut weights: Vec<f64> = (0..colors)
+                .map(|_| -(rng.gen::<f64>().max(1e-12)).ln())
+                .collect();
+            let sum: f64 = weights.iter().sum();
+            for w in &mut weights {
+                *w /= sum;
+            }
+            Theme { bins, weights }
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let theme = &themes[rng.gen_range(0..themes.len())];
+        let mut hist = vec![0.0f64; bins];
+        for (&bin, &w) in theme.bins.iter().zip(&theme.weights) {
+            // Per-image variation of the theme's palette weights.
+            let w = w * rng.gen_range(0.7..1.3);
+            // Quantization blur into a neighboring bin.
+            let bleed = rng.gen_range(0.0..0.25);
+            let neighbor = if bin + 1 < bins { bin + 1 } else { bin - 1 };
+            hist[bin] += w * (1.0 - bleed);
+            hist[neighbor] += w * bleed;
+        }
+        // Sensor/noise floor.
+        for h in hist.iter_mut() {
+            *h += rng.gen::<f64>() * 0.005;
+        }
+        let total: f64 = hist.iter().sum();
+        out.push(Point::new(
+            hist.into_iter().map(|h| (h / total) as f32).collect(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_normalized_histograms() {
+        for bins in [16, 32, 64] {
+            let pts = colhist(100, bins, 5);
+            assert_eq!(pts.len(), 100);
+            for p in &pts {
+                assert_eq!(p.dim(), bins);
+                let sum: f64 = (0..bins).map(|d| f64::from(p.coord(d))).sum();
+                assert!((sum - 1.0).abs() < 1e-3, "histogram sums to {sum}");
+                assert!((0..bins).all(|d| p.coord(d) >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn histograms_are_sparse() {
+        let pts = colhist(500, 64, 6);
+        // Most mass concentrated in a few bins: on average, the top-6 bins
+        // should hold well over half the mass.
+        let mut avg_top6 = 0.0f64;
+        for p in &pts {
+            let mut v: Vec<f64> = (0..64).map(|d| f64::from(p.coord(d))).collect();
+            v.sort_by(|a, b| b.total_cmp(a));
+            avg_top6 += v[..6].iter().sum::<f64>();
+        }
+        avg_top6 /= pts.len() as f64;
+        assert!(avg_top6 > 0.6, "top-6 mass only {avg_top6}");
+    }
+
+    #[test]
+    fn some_bins_are_non_discriminating() {
+        // The implicit-dimensionality-reduction premise: a fair share of
+        // bins have tiny spread across the whole collection.
+        let pts = colhist(1000, 64, 7);
+        let mut low_spread = 0;
+        for d in 0..64 {
+            let max = pts.iter().map(|p| p.coord(d)).fold(0.0f32, f32::max);
+            if max < 0.1 {
+                low_spread += 1;
+            }
+        }
+        assert!(
+            low_spread >= 8,
+            "expected several non-discriminating bins, got {low_spread}"
+        );
+    }
+
+    #[test]
+    fn collection_is_clustered_by_theme() {
+        // Images within a theme must be much closer (L1) than images from
+        // different themes on average — the Corel CD structure.
+        use hyt_geom::{Metric, L1};
+        let pts = colhist(2000, 32, 8);
+        // Nearest-neighbor distance should be far below the distance to a
+        // random other image for most points.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut nn_smaller = 0;
+        for _ in 0..50 {
+            let i = rng.gen_range(0..pts.len());
+            let nn = pts
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, p)| L1.distance(&pts[i], p))
+                .fold(f64::INFINITY, f64::min);
+            let j = rng.gen_range(0..pts.len());
+            let random = L1.distance(&pts[i], &pts[j]).max(1e-9);
+            if nn < random * 0.5 {
+                nn_smaller += 1;
+            }
+        }
+        assert!(
+            nn_smaller >= 35,
+            "expected strong cluster structure, got {nn_smaller}/50"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = colhist(30, 32, 9);
+        let b = colhist(30, 32, 9);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.same_coords(y)));
+    }
+}

@@ -1,0 +1,136 @@
+//! Synthetic datasets and query workloads for the hybrid tree evaluation.
+//!
+//! The paper evaluates on two real datasets that are not distributable:
+//!
+//! * **FOURIER** — 1.2M 16-d vectors of Fourier coefficients of polygons
+//!   (courtesy of Stefan Berchtold); 8/12/16-d prefixes are used.
+//! * **COLHIST** — ~70K color histograms of Corel images, at 4x4 / 8x4 /
+//!   8x8 binnings (16/32/64 dimensions).
+//!
+//! This crate synthesizes stand-ins with the same generative structure
+//! (see DESIGN.md §3 for the substitution argument):
+//!
+//! * [`fourier`] draws random polygons and takes the discrete Fourier
+//!   transform of their vertex contours — literally the process behind
+//!   the original dataset — yielding the energy-decaying, correlated
+//!   coefficient vectors that make *early* dimensions discriminating.
+//! * [`colhist`] draws images as Dirichlet mixtures of a few dominant
+//!   colors from a Zipf-popular palette, producing sparse, L1-normalized
+//!   histograms with many near-empty (non-discriminating) bins — the
+//!   structure that ELS and implicit dimensionality reduction exploit.
+//!
+//! [`Workload`] generates the paper's query mix: bounding-box queries
+//! whose side length is *calibrated to a constant selectivity* (0.07% for
+//! FOURIER, 0.2% for COLHIST) and L1 distance-range queries calibrated
+//! the same way (§4).
+
+mod colhist;
+mod fourier;
+mod workload;
+
+pub use colhist::colhist;
+pub use fourier::fourier;
+pub use workload::{
+    calibrate_box_side, calibrate_radius, uniform, clustered, BoxWorkload, DistanceWorkload,
+    Workload,
+};
+
+use hyt_geom::Point;
+
+/// Normalizes each dimension of a dataset to `[0, 1]` (the paper assumes
+/// a normalized feature space in its cost modeling).
+///
+/// Degenerate dimensions (constant value) map to `0.5`.
+pub fn normalize_unit(points: &mut [Point]) {
+    if points.is_empty() {
+        return;
+    }
+    let dim = points[0].dim();
+    let mut lo = vec![f32::INFINITY; dim];
+    let mut hi = vec![f32::NEG_INFINITY; dim];
+    for p in points.iter() {
+        for d in 0..dim {
+            lo[d] = lo[d].min(p.coord(d));
+            hi[d] = hi[d].max(p.coord(d));
+        }
+    }
+    for p in points.iter_mut() {
+        let coords: Vec<f32> = (0..dim)
+            .map(|d| {
+                let ext = hi[d] - lo[d];
+                if ext > 0.0 {
+                    (p.coord(d) - lo[d]) / ext
+                } else {
+                    0.5
+                }
+            })
+            .collect();
+        *p = Point::new(coords);
+    }
+}
+
+/// Normalizes a dataset into the unit cube with a *single* scale factor
+/// (per-dimension shift, common scale = the largest extent).
+///
+/// Unlike [`normalize_unit`], this preserves the relative spreads of the
+/// dimensions — essential for FOURIER, whose defining property is that
+/// coefficient energy decays with order (per-dimension normalization
+/// would amplify the noise in the tail coefficients to full range).
+pub fn normalize_common_scale(points: &mut [Point]) {
+    if points.is_empty() {
+        return;
+    }
+    let dim = points[0].dim();
+    let mut lo = vec![f32::INFINITY; dim];
+    let mut hi = vec![f32::NEG_INFINITY; dim];
+    for p in points.iter() {
+        for d in 0..dim {
+            lo[d] = lo[d].min(p.coord(d));
+            hi[d] = hi[d].max(p.coord(d));
+        }
+    }
+    let max_ext = (0..dim).map(|d| hi[d] - lo[d]).fold(0.0f32, f32::max);
+    if max_ext <= 0.0 {
+        return;
+    }
+    for p in points.iter_mut() {
+        let coords: Vec<f32> = (0..dim).map(|d| (p.coord(d) - lo[d]) / max_ext).collect();
+        *p = Point::new(coords);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_scale_preserves_relative_extents() {
+        let mut pts = vec![
+            Point::new(vec![0.0, 0.0]),
+            Point::new(vec![10.0, 1.0]),
+        ];
+        normalize_common_scale(&mut pts);
+        // Dim 0 spans [0,1]; dim 1 spans only a tenth of it.
+        assert_eq!(pts[1].coord(0), 1.0);
+        assert!((pts[1].coord(1) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_maps_into_unit_cube() {
+        let mut pts = vec![
+            Point::new(vec![-5.0, 100.0, 3.0]),
+            Point::new(vec![5.0, 200.0, 3.0]),
+            Point::new(vec![0.0, 150.0, 3.0]),
+        ];
+        normalize_unit(&mut pts);
+        for p in &pts {
+            for d in 0..3 {
+                assert!((0.0..=1.0).contains(&p.coord(d)));
+            }
+        }
+        // Extremes hit the bounds; constant dim maps to 0.5.
+        assert_eq!(pts[0].coord(0), 0.0);
+        assert_eq!(pts[1].coord(0), 1.0);
+        assert_eq!(pts[0].coord(2), 0.5);
+    }
+}

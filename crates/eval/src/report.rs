@@ -1,0 +1,118 @@
+//! Plain-text table rendering for regenerated figures.
+
+use std::fmt;
+
+/// A regenerated table or figure: a title, column headers, string rows,
+/// and free-form notes (e.g. the paper's expected shape for comparison).
+#[derive(Clone, Debug)]
+pub struct FigureReport {
+    /// e.g. "Figure 6(a): normalized I/O vs dimensionality (FOURIER)".
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row-major cells.
+    pub rows: Vec<Vec<String>>,
+    /// Context printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl FigureReport {
+    /// Creates an empty report.
+    pub fn new(title: impl Into<String>, columns: Vec<&str>) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the column count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+}
+
+impl fmt::Display for FigureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, "{:<width$}  ", c, width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.columns)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float compactly (4 significant-ish digits).
+pub(crate) fn fnum(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 100.0 {
+        format!("{x:.1}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.3}")
+    } else {
+        format!("{x:.5}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut r = FigureReport::new("Test", vec!["engine", "io"]);
+        r.row(vec!["hybrid".into(), "0.01".into()]);
+        r.row(vec!["seq-scan".into(), "0.1".into()]);
+        r.note("lower is better");
+        let s = r.to_string();
+        assert!(s.contains("== Test =="));
+        assert!(s.contains("hybrid"));
+        assert!(s.contains("note: lower is better"));
+        // Alignment: both data rows have the io column starting at the
+        // same offset.
+        let lines: Vec<&str> = s.lines().collect();
+        let h = lines[1];
+        assert!(h.starts_with("engine"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_wrong_width() {
+        let mut r = FigureReport::new("t", vec!["a"]);
+        r.row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn fnum_ranges() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(0.012345), "0.01235");
+        assert_eq!(fnum(1.5), "1.500");
+        assert_eq!(fnum(1234.5), "1234.5");
+    }
+}

@@ -1,0 +1,304 @@
+//! Build-and-measure machinery shared by all figure drivers.
+
+use hybrid_tree::{HybridTree, HybridTreeConfig, SplitPolicy};
+use hyt_geom::{Metric, Point, Rect};
+use hyt_hbtree::{HbTree, HbTreeConfig};
+use hyt_index::{IndexResult, MultidimIndex};
+use hyt_kdbtree::{KdbTree, KdbTreeConfig};
+use hyt_scan::SeqScan;
+use hyt_srtree::{SrTree, SrTreeConfig};
+use std::time::{Duration, Instant};
+
+/// The engines the paper compares (§4), plus the kDB-tree for Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// The hybrid tree with the paper's defaults (EDA splits, 4-bit ELS).
+    Hybrid,
+    /// Hybrid tree with VAMSplit node splitting (Fig 5(a,b) comparison).
+    HybridVam,
+    /// Hybrid tree with a given ELS precision (Fig 5(c) sweep).
+    HybridEls(u8),
+    /// Bulk-loaded hybrid tree (same structure, globally-optimized build;
+    /// isolates insertion-order effects from the structure itself).
+    HybridBulk,
+    /// hB-tree.
+    Hb,
+    /// SR-tree.
+    Sr,
+    /// kDB-tree.
+    Kdb,
+    /// Sequential scan.
+    Scan,
+}
+
+impl Engine {
+    /// Display name.
+    pub fn name(self) -> String {
+        match self {
+            Engine::Hybrid => "hybrid".into(),
+            Engine::HybridVam => "hybrid-vam".into(),
+            Engine::HybridEls(b) => format!("hybrid-els{b}"),
+            Engine::HybridBulk => "hybrid-bulk".into(),
+            Engine::Hb => "hb-tree".into(),
+            Engine::Sr => "sr-tree".into(),
+            Engine::Kdb => "kdb-tree".into(),
+            Engine::Scan => "seq-scan".into(),
+        }
+    }
+}
+
+/// Instantiates an engine and bulk-inserts `data` (build is by repeated
+/// insertion, as in the paper — all structures are fully dynamic).
+/// Returns the index and the build wall time.
+pub fn build_engine(
+    engine: Engine,
+    data: &[Point],
+) -> IndexResult<(Box<dyn MultidimIndex>, Duration)> {
+    let dim = data[0].dim();
+    let start = Instant::now();
+    if engine == Engine::HybridBulk {
+        let entries: Vec<(Point, u64)> = data
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, p)| (p, i as u64))
+            .collect();
+        let tree = HybridTree::bulk_load(entries, HybridTreeConfig::default())?;
+        return Ok((Box::new(tree), start.elapsed()));
+    }
+    let mut idx: Box<dyn MultidimIndex> = match engine {
+        Engine::Hybrid => Box::new(HybridTree::new(dim, HybridTreeConfig::default())?),
+        Engine::HybridVam => Box::new(HybridTree::new(
+            dim,
+            HybridTreeConfig {
+                split_policy: SplitPolicy::Vam,
+                ..HybridTreeConfig::default()
+            },
+        )?),
+        Engine::HybridEls(bits) => Box::new(HybridTree::new(
+            dim,
+            HybridTreeConfig {
+                els_bits: bits,
+                ..HybridTreeConfig::default()
+            },
+        )?),
+        Engine::Hb => Box::new(HbTree::new(dim, HbTreeConfig::default())?),
+        Engine::Sr => Box::new(SrTree::new(dim, SrTreeConfig::default())?),
+        Engine::Kdb => Box::new(KdbTree::new(dim, KdbTreeConfig::default())?),
+        Engine::Scan => Box::new(SeqScan::new(dim)?),
+        Engine::HybridBulk => unreachable!("handled above"),
+    };
+    for (i, p) in data.iter().enumerate() {
+        idx.insert(p.clone(), i as u64)?;
+    }
+    Ok((idx, start.elapsed()))
+}
+
+/// Averages measured over a batch of queries.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryCost {
+    /// Average *weighted* disk accesses per query (random = 1, sequential
+    /// = 0.1, the paper's model).
+    pub avg_accesses: f64,
+    /// Average CPU (wall) time per query.
+    pub avg_cpu: Duration,
+    /// Average result cardinality (to verify selectivity calibration).
+    pub avg_results: f64,
+}
+
+/// Runs box queries, returning per-query averages.
+pub fn run_box_queries(
+    idx: &mut dyn MultidimIndex,
+    queries: &[Rect],
+) -> IndexResult<QueryCost> {
+    idx.reset_io_stats();
+    let mut results = 0usize;
+    let start = Instant::now();
+    for q in queries {
+        results += idx.box_query(q)?.len();
+    }
+    let elapsed = start.elapsed();
+    let stats = idx.io_stats();
+    Ok(QueryCost {
+        avg_accesses: stats.weighted_accesses() / queries.len() as f64,
+        avg_cpu: elapsed / queries.len() as u32,
+        avg_results: results as f64 / queries.len() as f64,
+    })
+}
+
+/// Runs distance-range queries, returning per-query averages.
+pub fn run_distance_queries(
+    idx: &mut dyn MultidimIndex,
+    centers: &[Point],
+    radius: f64,
+    metric: &dyn Metric,
+) -> IndexResult<QueryCost> {
+    idx.reset_io_stats();
+    let mut results = 0usize;
+    let start = Instant::now();
+    for c in centers {
+        results += idx.distance_range(c, radius, metric)?.len();
+    }
+    let elapsed = start.elapsed();
+    let stats = idx.io_stats();
+    Ok(QueryCost {
+        avg_accesses: stats.weighted_accesses() / centers.len() as f64,
+        avg_cpu: elapsed / centers.len() as u32,
+        avg_results: results as f64 / centers.len() as f64,
+    })
+}
+
+/// One engine's results, normalized against the scan per the paper.
+#[derive(Clone, Debug)]
+pub struct CompareRow {
+    /// Engine name.
+    pub engine: String,
+    /// Raw average accesses per query (weighted).
+    pub avg_accesses: f64,
+    /// Raw average CPU per query.
+    pub avg_cpu: Duration,
+    /// `avg random accesses / scan pages` (scan itself = 0.1).
+    pub normalized_io: f64,
+    /// `avg cpu / scan avg cpu` (scan itself = 1.0).
+    pub normalized_cpu: f64,
+    /// Average result cardinality.
+    pub avg_results: f64,
+    /// Build wall time.
+    pub build_time: Duration,
+}
+
+/// Builds every engine, runs the workload on each, and normalizes
+/// against the sequential scan (which is always appended to the engine
+/// list if missing).
+pub fn compare_box(
+    engines: &[Engine],
+    data: &[Point],
+    queries: &[Rect],
+) -> IndexResult<Vec<CompareRow>> {
+    compare_inner(engines, data, |idx| run_box_queries(idx, queries))
+}
+
+/// Distance-query variant of [`compare_box`]. Engines that do not
+/// support distance search (the hB-tree) are skipped, as in the paper.
+pub fn compare_distance(
+    engines: &[Engine],
+    data: &[Point],
+    centers: &[Point],
+    radius: f64,
+    metric: &dyn Metric,
+) -> IndexResult<Vec<CompareRow>> {
+    compare_inner(engines, data, |idx| {
+        run_distance_queries(idx, centers, radius, metric)
+    })
+}
+
+fn compare_inner<F>(engines: &[Engine], data: &[Point], mut run: F) -> IndexResult<Vec<CompareRow>>
+where
+    F: FnMut(&mut dyn MultidimIndex) -> IndexResult<QueryCost>,
+{
+    let mut list: Vec<Engine> = engines.to_vec();
+    if !list.contains(&Engine::Scan) {
+        list.push(Engine::Scan);
+    }
+    let mut raw: Vec<(Engine, QueryCost, Duration)> = Vec::new();
+    let mut scan_pages = 0usize;
+    for &e in &list {
+        let (mut idx, build) = build_engine(e, data)?;
+        if e == Engine::Scan {
+            // Recover the page count for normalization.
+            let st = idx.structure_stats()?;
+            scan_pages = st.total_nodes;
+        }
+        match run(idx.as_mut()) {
+            Ok(cost) => raw.push((e, cost, build)),
+            Err(hyt_index::IndexError::Unsupported(_)) => continue,
+            Err(err) => return Err(err),
+        }
+    }
+    let scan_cost = raw
+        .iter()
+        .find(|(e, ..)| *e == Engine::Scan)
+        .map(|(_, c, _)| *c)
+        .expect("scan always runs");
+    let scan_cpu = scan_cost.avg_cpu.as_secs_f64().max(1e-12);
+    Ok(raw
+        .into_iter()
+        .map(|(e, c, build)| CompareRow {
+            engine: e.name(),
+            avg_accesses: c.avg_accesses,
+            avg_cpu: c.avg_cpu,
+            normalized_io: c.avg_accesses / scan_pages.max(1) as f64,
+            normalized_cpu: c.avg_cpu.as_secs_f64() / scan_cpu,
+            avg_results: c.avg_results,
+            build_time: build,
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyt_data::{uniform, BoxWorkload};
+    use hyt_geom::L1;
+
+    #[test]
+    fn all_engines_build_and_answer_identically() {
+        let data = uniform(1200, 4, 1);
+        let wl = BoxWorkload::calibrated(&data, 10, 0.01, 2);
+        let mut reference: Option<Vec<Vec<u64>>> = None;
+        for e in [
+            Engine::Hybrid,
+            Engine::HybridVam,
+            Engine::HybridEls(8),
+            Engine::Hb,
+            Engine::Sr,
+            Engine::Kdb,
+            Engine::Scan,
+        ] {
+            let (mut idx, _) = build_engine(e, &data).unwrap();
+            assert_eq!(idx.len(), data.len());
+            let mut answers = Vec::new();
+            for q in &wl.queries {
+                let mut a = idx.box_query(q).unwrap();
+                a.sort_unstable();
+                answers.push(a);
+            }
+            match &reference {
+                None => reference = Some(answers),
+                Some(r) => assert_eq!(r, &answers, "{} disagrees", e.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn normalization_puts_scan_at_point_one() {
+        let data = uniform(2000, 4, 3);
+        let wl = BoxWorkload::calibrated(&data, 8, 0.01, 4);
+        let rows = compare_box(&[Engine::Hybrid], &data, &wl.queries).unwrap();
+        let scan = rows.iter().find(|r| r.engine == "seq-scan").unwrap();
+        assert!(
+            (scan.normalized_io - 0.1).abs() < 1e-9,
+            "scan normalized io = {}",
+            scan.normalized_io
+        );
+        assert!((scan.normalized_cpu - 1.0).abs() < 1e-9);
+        let hybrid = rows.iter().find(|r| r.engine == "hybrid").unwrap();
+        assert!(hybrid.normalized_io > 0.0);
+        assert!(hybrid.avg_results > 0.0);
+    }
+
+    #[test]
+    fn distance_compare_skips_hb() {
+        let data = uniform(800, 3, 5);
+        let centers: Vec<_> = data[..5].to_vec();
+        let rows =
+            compare_distance(&[Engine::Hybrid, Engine::Hb, Engine::Sr], &data, &centers, 0.3, &L1)
+                .unwrap();
+        assert!(rows.iter().any(|r| r.engine == "hybrid"));
+        assert!(rows.iter().any(|r| r.engine == "sr-tree"));
+        assert!(
+            !rows.iter().any(|r| r.engine == "hb-tree"),
+            "hB-tree must be skipped for distance queries (paper §4)"
+        );
+    }
+}

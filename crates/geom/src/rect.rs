@@ -1,0 +1,370 @@
+//! k-dimensional axis-aligned bounding regions (BRs).
+
+use crate::{Coord, Point};
+use std::fmt;
+
+/// A k-dimensional axis-aligned rectangle (the paper's "bounding region").
+///
+/// `min[d] <= max[d]` holds for every dimension. Rectangles are closed on
+/// both sides, matching the paper's treatment of kd-split boundaries: a
+/// split position belongs to both sides (`lsp = rsp` still yields a valid,
+/// non-cascading partition of points).
+#[derive(Clone, PartialEq)]
+pub struct Rect {
+    min: Box<[Coord]>,
+    max: Box<[Coord]>,
+}
+
+impl Rect {
+    /// Creates a rectangle from per-dimension lower and upper bounds.
+    ///
+    /// # Panics
+    /// Panics if the vectors are empty, differ in length, contain
+    /// non-finite values, or `min[d] > max[d]` for some `d`.
+    pub fn new(min: Vec<Coord>, max: Vec<Coord>) -> Self {
+        assert!(!min.is_empty(), "rects must have at least 1 dimension");
+        assert_eq!(min.len(), max.len(), "min/max dimensionality mismatch");
+        for d in 0..min.len() {
+            assert!(
+                min[d].is_finite() && max[d].is_finite(),
+                "rect bounds must be finite"
+            );
+            assert!(min[d] <= max[d], "rect min must not exceed max (dim {d})");
+        }
+        Self {
+            min: min.into_boxed_slice(),
+            max: max.into_boxed_slice(),
+        }
+    }
+
+    /// The unit hypercube `[0,1]^dim` — the paper's normalized feature space.
+    pub fn unit(dim: usize) -> Self {
+        Self::new(vec![0.0; dim], vec![1.0; dim])
+    }
+
+    /// The degenerate rectangle containing exactly `p`.
+    pub fn from_point(p: &Point) -> Self {
+        Self::new(p.coords().to_vec(), p.coords().to_vec())
+    }
+
+    /// The minimum bounding rectangle of a non-empty set of points.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty.
+    pub fn bounding(points: &[Point]) -> Self {
+        assert!(!points.is_empty(), "bounding box of empty point set");
+        let mut r = Self::from_point(&points[0]);
+        for p in &points[1..] {
+            r.extend_to_point(p);
+        }
+        r
+    }
+
+    /// Dimensionality `k`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.min.len()
+    }
+
+    /// Lower bound along `d`.
+    #[inline]
+    pub fn lo(&self, d: usize) -> Coord {
+        self.min[d]
+    }
+
+    /// Upper bound along `d`.
+    #[inline]
+    pub fn hi(&self, d: usize) -> Coord {
+        self.max[d]
+    }
+
+    /// Extent (`hi - lo`, the paper's `s_d`) along `d`.
+    #[inline]
+    pub fn extent(&self, d: usize) -> f64 {
+        f64::from(self.max[d]) - f64::from(self.min[d])
+    }
+
+    /// The dimension of maximum extent, breaking ties toward the lowest
+    /// index. This is the paper's EDA-optimal data-node split dimension
+    /// (§3.2: choose the dimension along which the BR has the largest
+    /// extent, independent of data distribution and query size).
+    pub fn max_extent_dim(&self) -> usize {
+        let mut best = 0;
+        let mut best_ext = self.extent(0);
+        for d in 1..self.dim() {
+            let e = self.extent(d);
+            if e > best_ext {
+                best = d;
+                best_ext = e;
+            }
+        }
+        best
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Point {
+        Point::new(
+            (0..self.dim())
+                .map(|d| (self.min[d] + self.max[d]) * 0.5)
+                .collect(),
+        )
+    }
+
+    /// Volume (product of extents). Degenerate rectangles have volume 0.
+    pub fn volume(&self) -> f64 {
+        (0..self.dim()).map(|d| self.extent(d)).product()
+    }
+
+    /// Sum of extents over all dimensions ("margin"); proportional to the
+    /// surface-area surrogate used when arguing that cubic BRs minimize the
+    /// range-query overlap probability (§3.2).
+    pub fn margin(&self) -> f64 {
+        (0..self.dim()).map(|d| self.extent(d)).sum()
+    }
+
+    /// Whether the (closed) rectangle contains `p`.
+    pub fn contains_point(&self, p: &Point) -> bool {
+        debug_assert_eq!(self.dim(), p.dim());
+        (0..self.dim()).all(|d| self.min[d] <= p.coord(d) && p.coord(d) <= self.max[d])
+    }
+
+    /// Whether `self` fully contains `other`.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        debug_assert_eq!(self.dim(), other.dim());
+        (0..self.dim()).all(|d| self.min[d] <= other.min[d] && other.max[d] <= self.max[d])
+    }
+
+    /// Whether the closed rectangles intersect.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        debug_assert_eq!(self.dim(), other.dim());
+        (0..self.dim()).all(|d| self.min[d] <= other.max[d] && other.min[d] <= self.max[d])
+    }
+
+    /// Geometric intersection, or `None` when disjoint.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect::new(
+            (0..self.dim())
+                .map(|d| self.min[d].max(other.min[d]))
+                .collect(),
+            (0..self.dim())
+                .map(|d| self.max[d].min(other.max[d]))
+                .collect(),
+        ))
+    }
+
+    /// The smallest rectangle enclosing both operands.
+    pub fn union(&self, other: &Rect) -> Rect {
+        debug_assert_eq!(self.dim(), other.dim());
+        Rect::new(
+            (0..self.dim())
+                .map(|d| self.min[d].min(other.min[d]))
+                .collect(),
+            (0..self.dim())
+                .map(|d| self.max[d].max(other.max[d]))
+                .collect(),
+        )
+    }
+
+    /// Grows the rectangle in place so it contains `p`.
+    pub fn extend_to_point(&mut self, p: &Point) {
+        debug_assert_eq!(self.dim(), p.dim());
+        for d in 0..self.dim() {
+            self.min[d] = self.min[d].min(p.coord(d));
+            self.max[d] = self.max[d].max(p.coord(d));
+        }
+    }
+
+    /// Grows the rectangle in place so it contains `other`.
+    pub fn extend_to_rect(&mut self, other: &Rect) {
+        debug_assert_eq!(self.dim(), other.dim());
+        for d in 0..self.dim() {
+            self.min[d] = self.min[d].min(other.min[d]);
+            self.max[d] = self.max[d].max(other.max[d]);
+        }
+    }
+
+    /// Volume increase of the bounding box needed to accommodate `p`
+    /// (the R-tree/hybrid-tree insertion heuristic, §3.5).
+    pub fn enlargement_for_point(&self, p: &Point) -> f64 {
+        let mut grown = self.clone();
+        grown.extend_to_point(p);
+        grown.volume() - self.volume()
+    }
+
+    /// Restricts the upper bound along `d` to at most `v` (producing the
+    /// *left/lower* side of a kd split, `BR ∩ {x_d <= v}`).
+    ///
+    /// The bound is clamped into the rectangle so the result stays valid
+    /// even when `v` lies outside it.
+    pub fn clamp_above(&self, d: usize, v: Coord) -> Rect {
+        let mut r = self.clone();
+        r.max[d] = v.clamp(self.min[d], self.max[d]);
+        r
+    }
+
+    /// Restricts the lower bound along `d` to at least `v` (the
+    /// *right/upper* side of a kd split, `BR ∩ {x_d >= v}`).
+    pub fn clamp_below(&self, d: usize, v: Coord) -> Rect {
+        let mut r = self.clone();
+        r.min[d] = v.clamp(self.min[d], self.max[d]);
+        r
+    }
+
+    /// Probability that a bounding-box range query with side length `r`,
+    /// whose center is uniformly distributed in the unit data space,
+    /// overlaps this rectangle: the Minkowski-sum volume
+    /// `∏_d (s_d + r)` of the paper's EDA model (§3.2, Fig. 2).
+    ///
+    /// The value is not clipped to the data-space boundary; the paper's
+    /// optimality argument uses the unclipped form.
+    pub fn minkowski_volume(&self, r: f64) -> f64 {
+        (0..self.dim()).map(|d| self.extent(d) + r).product()
+    }
+
+    /// Lower-left corner as a point.
+    pub fn lo_point(&self) -> Point {
+        Point::new(self.min.to_vec())
+    }
+
+    /// Upper-right corner as a point.
+    pub fn hi_point(&self) -> Point {
+        Point::new(self.max.to_vec())
+    }
+}
+
+impl fmt::Debug for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let k = self.dim().min(4);
+        for d in 0..k {
+            if d > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "[{},{}]", self.min[d], self.max[d])?;
+        }
+        if self.dim() > 4 {
+            write!(f, "(+{} dims)", self.dim() - 4)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r2(min: [Coord; 2], max: [Coord; 2]) -> Rect {
+        Rect::new(min.to_vec(), max.to_vec())
+    }
+
+    #[test]
+    fn unit_cube_basics() {
+        let r = Rect::unit(3);
+        assert_eq!(r.dim(), 3);
+        assert_eq!(r.volume(), 1.0);
+        assert_eq!(r.margin(), 3.0);
+        assert!(r.contains_point(&Point::new(vec![0.0, 1.0, 0.5])));
+        assert!(!r.contains_point(&Point::new(vec![0.0, 1.0001, 0.5])));
+    }
+
+    #[test]
+    #[should_panic(expected = "min must not exceed max")]
+    fn inverted_bounds_rejected() {
+        let _ = Rect::new(vec![1.0], vec![0.0]);
+    }
+
+    #[test]
+    fn bounding_box_of_points() {
+        let pts = vec![
+            Point::new(vec![0.2, 0.8]),
+            Point::new(vec![0.5, 0.1]),
+            Point::new(vec![0.9, 0.4]),
+        ];
+        let r = Rect::bounding(&pts);
+        assert_eq!(r.lo(0), 0.2);
+        assert_eq!(r.hi(0), 0.9);
+        assert_eq!(r.lo(1), 0.1);
+        assert_eq!(r.hi(1), 0.8);
+        for p in &pts {
+            assert!(r.contains_point(p));
+        }
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = r2([0.0, 0.0], [0.5, 0.5]);
+        let b = r2([0.25, 0.25], [1.0, 1.0]);
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, r2([0.25, 0.25], [0.5, 0.5]));
+        let u = a.union(&b);
+        assert_eq!(u, r2([0.0, 0.0], [1.0, 1.0]));
+        assert!(u.contains_rect(&a) && u.contains_rect(&b));
+    }
+
+    #[test]
+    fn disjoint_rects_do_not_intersect() {
+        let a = r2([0.0, 0.0], [0.2, 0.2]);
+        let b = r2([0.3, 0.3], [0.5, 0.5]);
+        assert!(!a.intersects(&b));
+        assert!(a.intersection(&b).is_none());
+    }
+
+    #[test]
+    fn touching_rects_intersect() {
+        // Closed rectangles: a shared boundary counts as intersection,
+        // matching lsp == rsp clean splits.
+        let a = r2([0.0, 0.0], [0.5, 1.0]);
+        let b = r2([0.5, 0.0], [1.0, 1.0]);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b).unwrap().volume(), 0.0);
+    }
+
+    #[test]
+    fn max_extent_dim_prefers_larger_then_lower_index() {
+        let r = Rect::new(vec![0.0, 0.0, 0.0], vec![0.2, 0.9, 0.9]);
+        assert_eq!(r.max_extent_dim(), 1);
+    }
+
+    #[test]
+    fn clamp_above_and_below_partition_extent() {
+        let r = Rect::unit(2);
+        let left = r.clamp_above(0, 0.3);
+        let right = r.clamp_below(0, 0.3);
+        assert_eq!(left.hi(0), 0.3);
+        assert_eq!(right.lo(0), 0.3);
+        assert_eq!(left.extent(0) + right.extent(0), 1.0);
+    }
+
+    #[test]
+    fn clamp_is_saturating() {
+        let r = r2([0.2, 0.2], [0.8, 0.8]);
+        assert_eq!(r.clamp_above(0, 1.5).hi(0), 0.8);
+        assert_eq!(r.clamp_below(0, -1.0).lo(0), 0.2);
+    }
+
+    #[test]
+    fn minkowski_volume_matches_paper_formula() {
+        let r = r2([0.0, 0.0], [0.5, 0.25]);
+        // (s1 + r)(s2 + r) with r = 0.1
+        let v = r.minkowski_volume(0.1);
+        assert!((v - (0.6 * 0.35)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enlargement_for_contained_point_is_zero() {
+        let r = r2([0.0, 0.0], [1.0, 1.0]);
+        assert_eq!(r.enlargement_for_point(&Point::new(vec![0.5, 0.5])), 0.0);
+        assert!(r.enlargement_for_point(&Point::new(vec![1.5, 0.5])) > 0.0);
+    }
+
+    #[test]
+    fn extend_to_rect_covers_both() {
+        let mut a = r2([0.4, 0.4], [0.6, 0.6]);
+        let b = r2([0.0, 0.5], [0.5, 0.9]);
+        a.extend_to_rect(&b);
+        assert!(a.contains_rect(&b));
+        assert_eq!(a, r2([0.0, 0.4], [0.6, 0.9]));
+    }
+}

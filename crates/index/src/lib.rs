@@ -1,0 +1,180 @@
+//! Common interface implemented by every index structure in the workspace.
+//!
+//! The paper's evaluation (§4) runs the same workloads over the hybrid
+//! tree, the SR-tree, the hB-tree, and a linear scan. [`MultidimIndex`] is
+//! the uniform surface the evaluation harness drives; [`StructureStats`]
+//! captures the structural properties compared in the paper's Tables 1–2
+//! (fanout, utilization, overlap, split-dimension usage).
+
+use hyt_geom::{Metric, Point, Rect};
+use hyt_page::{IoStats, PageError};
+use std::fmt;
+
+/// Errors surfaced by index operations.
+#[derive(Debug)]
+pub enum IndexError {
+    /// A point or rectangle of the wrong dimensionality was supplied.
+    DimensionMismatch {
+        /// The index's dimensionality.
+        expected: usize,
+        /// The argument's dimensionality.
+        got: usize,
+    },
+    /// The operation is not supported by this structure (e.g. the hB-tree
+    /// does not support distance-based queries — paper §4, footnote 2).
+    Unsupported(&'static str),
+    /// An error from the storage substrate.
+    Storage(PageError),
+    /// The structure detected an internal inconsistency.
+    Internal(String),
+}
+
+/// Convenience alias for fallible index operations.
+pub type IndexResult<T> = Result<T, IndexError>;
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::DimensionMismatch { expected, got } => {
+                write!(
+                    f,
+                    "dimension mismatch: index is {expected}-d, argument is {got}-d"
+                )
+            }
+            IndexError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            IndexError::Storage(e) => write!(f, "storage error: {e}"),
+            IndexError::Internal(msg) => write!(f, "internal index error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IndexError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PageError> for IndexError {
+    fn from(e: PageError) -> Self {
+        IndexError::Storage(e)
+    }
+}
+
+/// Structural properties of a built index, for Table 1 / Table 2 style
+/// comparisons and for the ablation benches.
+#[derive(Clone, Debug, Default)]
+pub struct StructureStats {
+    /// Height of the tree (1 = a single data node).
+    pub height: usize,
+    /// Total number of pages (index + data).
+    pub total_nodes: usize,
+    /// Number of index (directory) pages.
+    pub index_nodes: usize,
+    /// Number of data (leaf) pages.
+    pub data_nodes: usize,
+    /// Average number of children per index node.
+    pub avg_fanout: f64,
+    /// Average fraction of the page used by data nodes (bytes used / page
+    /// size).
+    pub avg_leaf_utilization: f64,
+    /// Average over index-node splits of the overlap fraction: overlap
+    /// extent divided by the node extent along the split dimension
+    /// (0 = clean splits everywhere).
+    pub avg_overlap_fraction: f64,
+    /// Number of distinct dimensions ever used as a split dimension
+    /// (the paper's implicit dimensionality reduction shows up here).
+    pub distinct_split_dims: usize,
+    /// Bytes of redundant information stored (e.g. hB-tree path posting).
+    pub redundant_bytes: usize,
+}
+
+/// A disk-based multidimensional index over k-dimensional `f32` points with
+/// `u64` object identifiers.
+///
+/// Duplicate points (even duplicate `(point, oid)` pairs) are permitted;
+/// queries return one oid per stored entry, in unspecified order.
+pub trait MultidimIndex {
+    /// Short name used in reports ("hybrid", "sr-tree", ...).
+    fn name(&self) -> &'static str;
+
+    /// Dimensionality of the indexed space.
+    fn dim(&self) -> usize;
+
+    /// Number of stored entries.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts a point with its object id.
+    fn insert(&mut self, point: Point, oid: u64) -> IndexResult<()>;
+
+    /// Deletes one entry matching `(point, oid)` exactly; returns whether
+    /// an entry was removed.
+    fn delete(&mut self, point: &Point, oid: u64) -> IndexResult<bool>;
+
+    /// Bounding-box (window) query: all oids whose points lie inside the
+    /// closed rectangle.
+    fn box_query(&mut self, rect: &Rect) -> IndexResult<Vec<u64>>;
+
+    /// Distance range query under an arbitrary metric: all oids within
+    /// `radius` of `q`.
+    fn distance_range(
+        &mut self,
+        q: &Point,
+        radius: f64,
+        metric: &dyn Metric,
+    ) -> IndexResult<Vec<u64>>;
+
+    /// k-nearest-neighbor query; returns `(oid, distance)` sorted by
+    /// ascending distance (ties broken arbitrarily).
+    fn knn(&mut self, q: &Point, k: usize, metric: &dyn Metric) -> IndexResult<Vec<(u64, f64)>>;
+
+    /// I/O counters accumulated since the last reset.
+    fn io_stats(&self) -> IoStats;
+
+    /// Resets the I/O counters.
+    fn reset_io_stats(&mut self);
+
+    /// Structural statistics of the current tree.
+    fn structure_stats(&mut self) -> IndexResult<StructureStats>;
+}
+
+/// Checks an argument's dimensionality against the index's.
+pub fn check_dim(expected: usize, got: usize) -> IndexResult<()> {
+    if expected != got {
+        return Err(IndexError::DimensionMismatch { expected, got });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_dim_accepts_match() {
+        assert!(check_dim(4, 4).is_ok());
+    }
+
+    #[test]
+    fn check_dim_rejects_mismatch() {
+        let e = check_dim(4, 5).unwrap_err();
+        assert!(e.to_string().contains("4-d"));
+        assert!(e.to_string().contains("5-d"));
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(IndexError::Unsupported("distance search")
+            .to_string()
+            .contains("distance search"));
+        let e: IndexError = PageError::Corrupt("x".into()).into();
+        assert!(matches!(e, IndexError::Storage(_)));
+    }
+}

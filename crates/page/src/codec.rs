@@ -1,0 +1,223 @@
+//! Little-endian byte codecs for serializing nodes into pages.
+//!
+//! All on-page formats in the workspace are written through [`ByteWriter`]
+//! and parsed with [`ByteReader`]. The reader is bounds-checked and returns
+//! [`PageError::Corrupt`] instead of panicking, so a damaged page surfaces
+//! as an error rather than UB or a crash.
+
+use crate::{PageError, PageResult};
+
+/// An append-only little-endian encoder.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with preallocated capacity (typically a page size).
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer and returns its buffer.
+    pub fn into_inner(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// The encoded bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f32`.
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64`.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// A bounds-checked little-endian decoder over a byte slice.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current cursor position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> PageResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(PageError::Corrupt(format!(
+                "decode underflow: need {n} bytes at offset {}, only {} remain",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn get_u8(&mut self) -> PageResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u16`.
+    pub fn get_u16(&mut self) -> PageResult<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u32`.
+    pub fn get_u32(&mut self) -> PageResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`.
+    pub fn get_u64(&mut self) -> PageResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f32`.
+    pub fn get_f32(&mut self) -> PageResult<f32> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64`.
+    pub fn get_f64(&mut self) -> PageResult<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> PageResult<&'a [u8]> {
+        self.take(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut w = ByteWriter::new();
+        w.put_u8(0xAB);
+        w.put_u16(0xCDEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(0x0123_4567_89AB_CDEF);
+        w.put_f32(1.5);
+        w.put_f64(-2.25);
+        w.put_bytes(b"hybrid");
+        let buf = w.into_inner();
+
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.get_u8().unwrap(), 0xAB);
+        assert_eq!(r.get_u16().unwrap(), 0xCDEF);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.get_f32().unwrap(), 1.5);
+        assert_eq!(r.get_f64().unwrap(), -2.25);
+        assert_eq!(r.get_bytes(6).unwrap(), b"hybrid");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn underflow_is_error_not_panic() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert!(matches!(r.get_u32(), Err(PageError::Corrupt(_))));
+        // Cursor is not advanced by a failed read.
+        assert_eq!(r.get_u16().unwrap(), 0x0201);
+    }
+
+    #[test]
+    fn position_tracks_consumption() {
+        let mut r = ByteReader::new(&[0; 10]);
+        assert_eq!(r.position(), 0);
+        r.get_u32().unwrap();
+        assert_eq!(r.position(), 4);
+        assert_eq!(r.remaining(), 6);
+    }
+
+    proptest! {
+        #[test]
+        fn f32_roundtrip(v in proptest::num::f32::ANY) {
+            let mut w = ByteWriter::new();
+            w.put_f32(v);
+            let buf = w.into_inner();
+            let got = ByteReader::new(&buf).get_f32().unwrap();
+            prop_assert_eq!(v.to_bits(), got.to_bits());
+        }
+
+        #[test]
+        fn mixed_sequence_roundtrip(vals in proptest::collection::vec(0u32..u32::MAX, 0..64)) {
+            let mut w = ByteWriter::with_capacity(vals.len() * 4);
+            for v in &vals { w.put_u32(*v); }
+            let buf = w.into_inner();
+            prop_assert_eq!(buf.len(), vals.len() * 4);
+            let mut r = ByteReader::new(&buf);
+            for v in &vals {
+                prop_assert_eq!(r.get_u32().unwrap(), *v);
+            }
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Backing stores: in-memory and file-backed page files.
+
+use crate::{PageError, PageId, PageResult, DEFAULT_PAGE_SIZE};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// A flat array of fixed-size pages.
+///
+/// Pages are allocated and freed individually; freed ids are recycled. A
+/// `write` shorter than the page size is zero-padded, so a page always
+/// round-trips to exactly `page_size` bytes (decoders know their own
+/// lengths).
+pub trait Storage {
+    /// The fixed page size in bytes.
+    fn page_size(&self) -> usize;
+
+    /// Allocates a zeroed page and returns its id.
+    fn allocate(&mut self) -> PageResult<PageId>;
+
+    /// Reads a full page into `buf` (`buf.len() == page_size`).
+    fn read(&mut self, id: PageId, buf: &mut [u8]) -> PageResult<()>;
+
+    /// Writes `data` (at most `page_size` bytes) to the page.
+    fn write(&mut self, id: PageId, data: &[u8]) -> PageResult<()>;
+
+    /// Frees a page for reuse.
+    fn free(&mut self, id: PageId) -> PageResult<()>;
+
+    /// Number of live (allocated, not freed) pages.
+    fn live_pages(&self) -> usize;
+}
+
+/// In-memory page store — the default substrate for experiments.
+pub struct MemStorage {
+    page_size: usize,
+    pages: Vec<Option<Box<[u8]>>>,
+    free_list: Vec<u32>,
+    live: usize,
+}
+
+impl MemStorage {
+    /// Creates an empty store with the paper's default 4096-byte pages.
+    pub fn new() -> Self {
+        Self::with_page_size(DEFAULT_PAGE_SIZE)
+    }
+
+    /// Creates an empty store with a custom page size.
+    ///
+    /// # Panics
+    /// Panics if `page_size` is smaller than 64 bytes (no node header fits).
+    pub fn with_page_size(page_size: usize) -> Self {
+        assert!(page_size >= 64, "page size too small to hold any node");
+        Self {
+            page_size,
+            pages: Vec::new(),
+            free_list: Vec::new(),
+            live: 0,
+        }
+    }
+
+    fn slot(&self, id: PageId) -> PageResult<usize> {
+        let i = id.0 as usize;
+        if id.is_invalid() || i >= self.pages.len() || self.pages[i].is_none() {
+            return Err(PageError::UnknownPage(id));
+        }
+        Ok(i)
+    }
+}
+
+impl Default for MemStorage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Storage for MemStorage {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn allocate(&mut self) -> PageResult<PageId> {
+        self.live += 1;
+        if let Some(i) = self.free_list.pop() {
+            self.pages[i as usize] = Some(vec![0; self.page_size].into_boxed_slice());
+            return Ok(PageId(i));
+        }
+        let i = self.pages.len();
+        assert!(i < u32::MAX as usize, "page id space exhausted");
+        self.pages
+            .push(Some(vec![0; self.page_size].into_boxed_slice()));
+        Ok(PageId(i as u32))
+    }
+
+    fn read(&mut self, id: PageId, buf: &mut [u8]) -> PageResult<()> {
+        let i = self.slot(id)?;
+        debug_assert_eq!(buf.len(), self.page_size);
+        buf.copy_from_slice(self.pages[i].as_ref().unwrap());
+        Ok(())
+    }
+
+    fn write(&mut self, id: PageId, data: &[u8]) -> PageResult<()> {
+        if data.len() > self.page_size {
+            return Err(PageError::Overflow {
+                need: data.len(),
+                cap: self.page_size,
+            });
+        }
+        let i = self.slot(id)?;
+        let page = self.pages[i].as_mut().unwrap();
+        page[..data.len()].copy_from_slice(data);
+        page[data.len()..].fill(0);
+        Ok(())
+    }
+
+    fn free(&mut self, id: PageId) -> PageResult<()> {
+        let i = self.slot(id)?;
+        self.pages[i] = None;
+        self.free_list.push(i as u32);
+        self.live -= 1;
+        Ok(())
+    }
+
+    fn live_pages(&self) -> usize {
+        self.live
+    }
+}
+
+/// File-backed page store: page `i` lives at byte offset `i * page_size`.
+///
+/// The free list is kept in memory only; the intended usage is "build, run,
+/// optionally reopen read-only", which covers the durability round-trip the
+/// tests exercise. Freed pages are zeroed on disk so a reopened file can
+/// distinguish live pages if a caller tracks its own roots.
+pub struct FileStorage {
+    page_size: usize,
+    file: File,
+    num_pages: u32,
+    free_list: Vec<u32>,
+    freed: std::collections::HashSet<u32>,
+    live: usize,
+}
+
+impl FileStorage {
+    /// Creates (truncating) a page file at `path`.
+    pub fn create<P: AsRef<Path>>(path: P, page_size: usize) -> PageResult<Self> {
+        assert!(page_size >= 64, "page size too small to hold any node");
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Self {
+            page_size,
+            file,
+            num_pages: 0,
+            free_list: Vec::new(),
+            freed: std::collections::HashSet::new(),
+            live: 0,
+        })
+    }
+
+    /// Opens an existing page file; all pages present are considered live.
+    pub fn open<P: AsRef<Path>>(path: P, page_size: usize) -> PageResult<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % page_size as u64 != 0 {
+            return Err(PageError::Corrupt(format!(
+                "file length {len} is not a multiple of page size {page_size}"
+            )));
+        }
+        let num_pages = (len / page_size as u64) as u32;
+        Ok(Self {
+            page_size,
+            file,
+            num_pages,
+            free_list: Vec::new(),
+            freed: std::collections::HashSet::new(),
+            live: num_pages as usize,
+        })
+    }
+
+    fn check(&self, id: PageId) -> PageResult<()> {
+        if id.is_invalid() || id.0 >= self.num_pages || self.freed.contains(&id.0) {
+            return Err(PageError::UnknownPage(id));
+        }
+        Ok(())
+    }
+
+    /// Flushes file contents to the OS.
+    pub fn sync(&mut self) -> PageResult<()> {
+        self.file.flush()?;
+        self.file.sync_all()?;
+        Ok(())
+    }
+}
+
+impl Storage for FileStorage {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn allocate(&mut self) -> PageResult<PageId> {
+        self.live += 1;
+        if let Some(i) = self.free_list.pop() {
+            self.freed.remove(&i);
+            return Ok(PageId(i));
+        }
+        let i = self.num_pages;
+        self.num_pages += 1;
+        self.file
+            .seek(SeekFrom::Start(u64::from(i) * self.page_size as u64))?;
+        self.file.write_all(&vec![0; self.page_size])?;
+        Ok(PageId(i))
+    }
+
+    fn read(&mut self, id: PageId, buf: &mut [u8]) -> PageResult<()> {
+        self.check(id)?;
+        debug_assert_eq!(buf.len(), self.page_size);
+        self.file
+            .seek(SeekFrom::Start(u64::from(id.0) * self.page_size as u64))?;
+        self.file.read_exact(buf)?;
+        Ok(())
+    }
+
+    fn write(&mut self, id: PageId, data: &[u8]) -> PageResult<()> {
+        if data.len() > self.page_size {
+            return Err(PageError::Overflow {
+                need: data.len(),
+                cap: self.page_size,
+            });
+        }
+        self.check(id)?;
+        self.file
+            .seek(SeekFrom::Start(u64::from(id.0) * self.page_size as u64))?;
+        self.file.write_all(data)?;
+        if data.len() < self.page_size {
+            self.file.write_all(&vec![0; self.page_size - data.len()])?;
+        }
+        Ok(())
+    }
+
+    fn free(&mut self, id: PageId) -> PageResult<()> {
+        self.check(id)?;
+        self.write(id, &[])?; // zero on disk
+        self.free_list.push(id.0);
+        self.freed.insert(id.0);
+        self.live -= 1;
+        Ok(())
+    }
+
+    fn live_pages(&self) -> usize {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &mut dyn Storage) {
+        let ps = store.page_size();
+        let a = store.allocate().unwrap();
+        let b = store.allocate().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(store.live_pages(), 2);
+
+        store.write(a, b"hello").unwrap();
+        store.write(b, &vec![7u8; ps]).unwrap();
+
+        let mut buf = vec![0u8; ps];
+        store.read(a, &mut buf).unwrap();
+        assert_eq!(&buf[..5], b"hello");
+        assert!(buf[5..].iter().all(|&x| x == 0), "short write zero-pads");
+
+        store.read(b, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 7));
+
+        // Overflow rejected.
+        assert!(matches!(
+            store.write(a, &vec![0u8; ps + 1]),
+            Err(PageError::Overflow { .. })
+        ));
+
+        // Free and reuse.
+        store.free(a).unwrap();
+        assert_eq!(store.live_pages(), 1);
+        assert!(matches!(
+            store.read(a, &mut buf),
+            Err(PageError::UnknownPage(_))
+        ));
+        let c = store.allocate().unwrap();
+        assert_eq!(c, a, "freed ids are recycled");
+        store.read(c, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 0), "recycled page is zeroed");
+    }
+
+    #[test]
+    fn mem_storage_contract() {
+        let mut s = MemStorage::with_page_size(256);
+        exercise(&mut s);
+    }
+
+    #[test]
+    fn file_storage_contract() {
+        let dir = std::env::temp_dir().join(format!("hyt_page_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("contract.pages");
+        let mut s = FileStorage::create(&path, 256).unwrap();
+        exercise(&mut s);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_storage_durability_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("hyt_page_dur_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("durable.pages");
+        {
+            let mut s = FileStorage::create(&path, 128).unwrap();
+            let a = s.allocate().unwrap();
+            let b = s.allocate().unwrap();
+            s.write(a, b"persisted-a").unwrap();
+            s.write(b, b"persisted-b").unwrap();
+            s.sync().unwrap();
+        }
+        {
+            let mut s = FileStorage::open(&path, 128).unwrap();
+            assert_eq!(s.live_pages(), 2);
+            let mut buf = vec![0u8; 128];
+            s.read(PageId(0), &mut buf).unwrap();
+            assert_eq!(&buf[..11], b"persisted-a");
+            s.read(PageId(1), &mut buf).unwrap();
+            assert_eq!(&buf[..11], b"persisted-b");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_storage_rejects_misaligned_file() {
+        let dir = std::env::temp_dir().join(format!("hyt_page_mis_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("misaligned.pages");
+        std::fs::write(&path, vec![0u8; 100]).unwrap();
+        assert!(matches!(
+            FileStorage::open(&path, 128),
+            Err(PageError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn invalid_page_id_is_rejected() {
+        let mut s = MemStorage::new();
+        let mut buf = vec![0u8; s.page_size()];
+        assert!(matches!(
+            s.read(PageId::INVALID, &mut buf),
+            Err(PageError::UnknownPage(_))
+        ));
+    }
+}

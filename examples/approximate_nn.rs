@@ -1,0 +1,64 @@
+//! Approximate and incremental nearest-neighbor search — the paper's
+//! stated future work ("we intend to support new types of queries like
+//! approximate nearest neighbor queries efficiently using the hybrid
+//! tree"), implemented on top of the same index.
+//!
+//! ```sh
+//! cargo run --release --example approximate_nn
+//! ```
+
+use hybridtree_repro::data::colhist;
+use hybridtree_repro::prelude::*;
+
+fn main() -> Result<(), IndexError> {
+    let dim = 32;
+    let images = colhist(40_000, dim, 21);
+    let mut tree = HybridTree::new(dim, HybridTreeConfig::default())?;
+    for (oid, p) in images.iter().enumerate() {
+        tree.insert(p.clone(), oid as u64)?;
+    }
+    println!("indexed {} histograms ({dim}-d)\n", tree.len());
+    let q = images[4321].clone();
+
+    // Exact kNN as the reference.
+    tree.reset_io_stats();
+    let exact = tree.knn(&q, 10, &L2)?;
+    let exact_io = tree.io_stats().logical_reads;
+    println!("exact 10-NN: {exact_io} page reads; k-th distance {:.5}", exact[9].1);
+
+    // (1+eps)-approximate kNN: fewer reads, bounded error.
+    for eps in [0.2, 1.0, 3.0] {
+        tree.reset_io_stats();
+        let approx = tree.knn_approximate(&q, 10, eps, &L2)?;
+        let io = tree.io_stats().logical_reads;
+        let worst_ratio = approx
+            .iter()
+            .zip(&exact)
+            .map(|(a, e)| if e.1 > 0.0 { a.1 / e.1 } else { 1.0 })
+            .fold(1.0f64, f64::max);
+        println!(
+            "eps={eps:<4} {io:>4} page reads ({:.0}% of exact); worst rank-distance ratio {:.3} (bound {:.1})",
+            100.0 * io as f64 / exact_io as f64,
+            worst_ratio,
+            1.0 + eps
+        );
+    }
+
+    // Incremental ranked retrieval: pull results one at a time, stop
+    // whenever the user is satisfied — no k fixed up front.
+    tree.reset_io_stats();
+    let mut cursor = tree.nearest_iter(&q, &L1)?;
+    println!("\nstreaming the 5 nearest under L1 (pulled lazily):");
+    for rank in 1..=5 {
+        if let Some((oid, d)) = cursor.next()? {
+            println!("  #{rank}: image {oid:>6} at distance {d:.5}");
+        }
+    }
+    drop(cursor);
+    println!(
+        "cursor cost so far: {} page reads (of {} total pages)",
+        tree.io_stats().logical_reads,
+        tree.structure_stats()?.total_nodes
+    );
+    Ok(())
+}

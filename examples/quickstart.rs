@@ -1,0 +1,74 @@
+//! Quickstart: build a hybrid tree, run every query kind, inspect stats.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hybridtree_repro::prelude::*;
+
+fn main() -> Result<(), IndexError> {
+    // An 8-dimensional feature space with the paper's defaults:
+    // 4096-byte pages, EDA-optimal splits, 4-bit encoded live space.
+    let dim = 8;
+    let mut tree = HybridTree::new(dim, HybridTreeConfig::default())?;
+
+    // Index 10,000 synthetic feature vectors.
+    let points = hybridtree_repro::data::uniform(10_000, dim, 42);
+    for (oid, p) in points.iter().enumerate() {
+        tree.insert(p.clone(), oid as u64)?;
+    }
+    println!(
+        "built: {} vectors, height {}, {} entries/page capacity",
+        tree.len(),
+        tree.height(),
+        tree.data_capacity()
+    );
+
+    // 1. Window (bounding-box) query.
+    let window = Rect::new(vec![0.25; dim], vec![0.75; dim]);
+    tree.reset_io_stats();
+    let in_window = tree.box_query(&window)?;
+    println!(
+        "window query: {} hits using {} disk accesses",
+        in_window.len(),
+        tree.io_stats().logical_reads
+    );
+
+    // 2. Distance range query — metric chosen *at query time*.
+    let q = Point::new(vec![0.5; dim]);
+    let near_l1 = tree.distance_range(&q, 1.0, &L1)?;
+    let near_l2 = tree.distance_range(&q, 1.0, &L2)?;
+    println!(
+        "within 1.0 of the center: {} (L1), {} (L2)",
+        near_l1.len(),
+        near_l2.len()
+    );
+
+    // 3. k-nearest neighbors.
+    let nn = tree.knn(&q, 5, &L2)?;
+    println!("5 nearest neighbors (L2):");
+    for (oid, dist) in &nn {
+        println!("  oid {oid:>5}  distance {dist:.4}");
+    }
+
+    // 4. The index is fully dynamic: delete and re-query.
+    let (victim, _) = nn[0];
+    tree.delete(&points[victim as usize], victim)?;
+    let nn_after = tree.knn(&q, 1, &L2)?;
+    assert_ne!(nn_after[0].0, victim, "deleted point no longer returned");
+    println!("deleted oid {victim}; new nearest is oid {}", nn_after[0].0);
+
+    // 5. Structural statistics (the numbers behind the paper's Table 1).
+    let st = tree.structure_stats()?;
+    println!(
+        "structure: {} nodes ({} index / {} data), avg fanout {:.1}, leaf fill {:.0}%, \
+         {} of {dim} dims ever split",
+        st.total_nodes,
+        st.index_nodes,
+        st.data_nodes,
+        st.avg_fanout,
+        st.avg_leaf_utilization * 100.0,
+        st.distinct_split_dims
+    );
+    Ok(())
+}

@@ -1,0 +1,304 @@
+//! `hyt` — command-line front end for the hybrid tree.
+//!
+//! ```text
+//! hyt generate --kind colhist --n 20000 --dim 32 --out data.csv
+//! hyt build    --input data.csv --index db.pages --meta db.meta
+//! hyt stats    --index db.pages --meta db.meta
+//! hyt knn      --index db.pages --meta db.meta --query 0.1,0.2,... --k 5 --metric l1
+//! hyt range    --index db.pages --meta db.meta --query 0.1,0.2,... --radius 0.4
+//! hyt box      --index db.pages --meta db.meta --lo 0.1,0.1 --hi 0.4,0.4
+//! ```
+//!
+//! Vectors are CSV lines of `f32`; the object id is the 0-based line
+//! number. The index persists as a page file plus a catalog sidecar
+//! (root/height/config/ELS), so build and query can run in separate
+//! processes.
+
+use hybridtree_repro::core::{HybridTree, HybridTreeConfig};
+use hybridtree_repro::data::{colhist, fourier, uniform};
+use hybridtree_repro::geom::{Chebyshev, Lp, Metric, Point, Rect, L1, L2};
+use hybridtree_repro::index::MultidimIndex;
+use hybridtree_repro::page::FileStorage;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  hyt generate --kind colhist|fourier|uniform --n N --dim D [--seed S] --out FILE
+  hyt build    --input FILE --index PAGES --meta META [--page-size 4096]
+               [--els-bits 4] [--bulk]
+  hyt stats    --index PAGES --meta META
+  hyt knn      --index PAGES --meta META --query V [--k 10] [--metric l2]
+  hyt range    --index PAGES --meta META --query V --radius R [--metric l2]
+  hyt box      --index PAGES --meta META --lo V --hi V
+metrics: l1, l2, linf, lp:<p>     V: comma-separated f32 coordinates";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("no command given".into());
+    };
+    let opts = parse_opts(rest)?;
+    match cmd.as_str() {
+        "generate" => generate(&opts),
+        "build" => build(&opts),
+        "stats" => stats(&opts),
+        "knn" => knn(&opts),
+        "range" => range(&opts),
+        "box" => box_query(&opts),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected --option, found `{key}`"));
+        };
+        if name == "bulk" {
+            out.insert(name.to_string(), "true".to_string());
+            continue;
+        }
+        let Some(value) = it.next() else {
+            return Err(format!("--{name} needs a value"));
+        };
+        out.insert(name.to_string(), value.clone());
+    }
+    Ok(out)
+}
+
+fn req<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    opts.get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required option --{key}"))
+}
+
+fn opt_parse<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v}")),
+    }
+}
+
+fn parse_vector(s: &str) -> Result<Vec<f32>, String> {
+    s.split(',')
+        .map(|t| t.trim().parse().map_err(|_| format!("bad coordinate `{t}`")))
+        .collect()
+}
+
+fn parse_metric(s: &str) -> Result<Box<dyn Metric>, String> {
+    match s {
+        "l1" => Ok(Box::new(L1)),
+        "l2" => Ok(Box::new(L2)),
+        "linf" => Ok(Box::new(Chebyshev)),
+        other => {
+            if let Some(p) = other.strip_prefix("lp:") {
+                let p: f64 = p.parse().map_err(|_| format!("bad lp order `{p}`"))?;
+                if p < 1.0 {
+                    return Err("lp order must be >= 1".into());
+                }
+                Ok(Box::new(Lp::new(p)))
+            } else {
+                Err(format!("unknown metric `{other}` (l1, l2, linf, lp:<p>)"))
+            }
+        }
+    }
+}
+
+fn generate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let kind = req(opts, "kind")?;
+    let n: usize = req(opts, "n")?.parse().map_err(|_| "bad --n")?;
+    let dim: usize = req(opts, "dim")?.parse().map_err(|_| "bad --dim")?;
+    let seed: u64 = opt_parse(opts, "seed", 42)?;
+    let out = req(opts, "out")?;
+    let data = match kind {
+        "colhist" => colhist(n, dim, seed),
+        "fourier" => fourier(n, dim, seed),
+        "uniform" => uniform(n, dim, seed),
+        other => return Err(format!("unknown dataset kind `{other}`")),
+    };
+    let mut body = String::with_capacity(n * dim * 10);
+    for p in &data {
+        let line: Vec<String> = p.coords().iter().map(|c| format!("{c}")).collect();
+        body.push_str(&line.join(","));
+        body.push('\n');
+    }
+    std::fs::write(out, body).map_err(|e| e.to_string())?;
+    println!("wrote {n} {kind} vectors ({dim}-d) to {out}");
+    Ok(())
+}
+
+fn load_csv(path: &str) -> Result<Vec<Point>, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let mut out = Vec::new();
+    for (i, line) in body.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let coords =
+            parse_vector(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        out.push(Point::new(coords));
+    }
+    if out.is_empty() {
+        return Err(format!("{path} holds no vectors"));
+    }
+    let dim = out[0].dim();
+    if out.iter().any(|p| p.dim() != dim) {
+        return Err(format!("{path} mixes dimensionalities"));
+    }
+    Ok(out)
+}
+
+fn build(opts: &HashMap<String, String>) -> Result<(), String> {
+    let input = req(opts, "input")?;
+    let index = req(opts, "index")?;
+    let meta = req(opts, "meta")?;
+    let page_size: usize = opt_parse(opts, "page-size", 4096)?;
+    let els_bits: u8 = opt_parse(opts, "els-bits", 4)?;
+    let bulk = opts.contains_key("bulk");
+    let data = load_csv(input)?;
+    let dim = data[0].dim();
+    let cfg = HybridTreeConfig {
+        page_size,
+        els_bits,
+        ..HybridTreeConfig::default()
+    };
+    let start = std::time::Instant::now();
+    let mut tree = if bulk {
+        let storage = FileStorage::create(index, page_size).map_err(|e| e.to_string())?;
+        let entries: Vec<(Point, u64)> = data
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (p, i as u64))
+            .collect();
+        HybridTree::bulk_load_into(storage, cfg, entries).map_err(|e| e.to_string())?
+    } else {
+        let storage = FileStorage::create(index, page_size).map_err(|e| e.to_string())?;
+        let mut tree = HybridTree::with_storage(dim, cfg, storage).map_err(|e| e.to_string())?;
+        for (i, p) in data.into_iter().enumerate() {
+            tree.insert(p, i as u64).map_err(|e| e.to_string())?;
+        }
+        tree
+    };
+    tree.persist(meta).map_err(|e| e.to_string())?;
+    println!(
+        "built {} entries ({dim}-d) in {:.2}s — height {}, {} data-entries/page, \
+         ELS table {} bytes\nindex: {index}\ncatalog: {meta}",
+        tree.len(),
+        start.elapsed().as_secs_f64(),
+        tree.height(),
+        tree.data_capacity(),
+        tree.els_overhead_bytes(),
+    );
+    Ok(())
+}
+
+fn open_tree(opts: &HashMap<String, String>) -> Result<HybridTree<FileStorage>, String> {
+    let index = req(opts, "index")?;
+    let meta = req(opts, "meta")?;
+    HybridTree::open(index, meta).map_err(|e| e.to_string())
+}
+
+fn stats(opts: &HashMap<String, String>) -> Result<(), String> {
+    let mut tree = open_tree(opts)?;
+    let st = tree.structure_stats().map_err(|e| e.to_string())?;
+    println!("entries            {}", tree.len());
+    println!("dimensionality     {}", tree.dim());
+    println!("height             {}", st.height);
+    println!("pages              {} ({} index, {} data)", st.total_nodes, st.index_nodes, st.data_nodes);
+    println!("avg fanout         {:.1}", st.avg_fanout);
+    println!("leaf utilization   {:.0}%", st.avg_leaf_utilization * 100.0);
+    println!("overlap fraction   {:.5}", st.avg_overlap_fraction);
+    println!("split dims used    {} of {}", st.distinct_split_dims, tree.dim());
+    println!("ELS overhead       {} bytes in memory", tree.els_overhead_bytes());
+    Ok(())
+}
+
+fn query_point(opts: &HashMap<String, String>, tree: &HybridTree<FileStorage>) -> Result<Point, String> {
+    let q = parse_vector(req(opts, "query")?)?;
+    if q.len() != tree.dim() {
+        return Err(format!(
+            "query has {} coordinates, index is {}-d",
+            q.len(),
+            tree.dim()
+        ));
+    }
+    Ok(Point::new(q))
+}
+
+fn knn(opts: &HashMap<String, String>) -> Result<(), String> {
+    let mut tree = open_tree(opts)?;
+    let q = query_point(opts, &tree)?;
+    let k: usize = opt_parse(opts, "k", 10)?;
+    let metric = parse_metric(opts.get("metric").map(String::as_str).unwrap_or("l2"))?;
+    tree.reset_io_stats();
+    let hits = tree.knn(&q, k, metric.as_ref()).map_err(|e| e.to_string())?;
+    for (oid, d) in &hits {
+        println!("{oid}\t{d:.6}");
+    }
+    eprintln!("[{} page reads]", tree.io_stats().logical_reads);
+    Ok(())
+}
+
+fn range(opts: &HashMap<String, String>) -> Result<(), String> {
+    let mut tree = open_tree(opts)?;
+    let q = query_point(opts, &tree)?;
+    let radius: f64 = req(opts, "radius")?.parse().map_err(|_| "bad --radius")?;
+    let metric = parse_metric(opts.get("metric").map(String::as_str).unwrap_or("l2"))?;
+    tree.reset_io_stats();
+    let mut hits = tree
+        .distance_range(&q, radius, metric.as_ref())
+        .map_err(|e| e.to_string())?;
+    hits.sort_unstable();
+    for oid in &hits {
+        println!("{oid}");
+    }
+    eprintln!(
+        "[{} results, {} page reads]",
+        hits.len(),
+        tree.io_stats().logical_reads
+    );
+    Ok(())
+}
+
+fn box_query(opts: &HashMap<String, String>) -> Result<(), String> {
+    let mut tree = open_tree(opts)?;
+    let lo = parse_vector(req(opts, "lo")?)?;
+    let hi = parse_vector(req(opts, "hi")?)?;
+    if lo.len() != tree.dim() || hi.len() != tree.dim() {
+        return Err(format!("--lo/--hi must have {} coordinates", tree.dim()));
+    }
+    if lo.iter().zip(&hi).any(|(l, h)| l > h) {
+        return Err("--lo must be <= --hi in every dimension".into());
+    }
+    let rect = Rect::new(lo, hi);
+    tree.reset_io_stats();
+    let mut hits = tree.box_query(&rect).map_err(|e| e.to_string())?;
+    hits.sort_unstable();
+    for oid in &hits {
+        println!("{oid}");
+    }
+    eprintln!(
+        "[{} results, {} page reads]",
+        hits.len(),
+        tree.io_stats().logical_reads
+    );
+    Ok(())
+}

@@ -1,0 +1,180 @@
+//! Cross-engine integration tests: every index structure must return
+//! exactly the same answers as a brute-force oracle, on every dataset
+//! family the paper uses, for every query kind it supports.
+
+use hybridtree_repro::data::{clustered, colhist, fourier, uniform};
+use hybridtree_repro::eval::{build_engine, Engine};
+use hybridtree_repro::prelude::*;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+const ENGINES: [Engine; 5] = [
+    Engine::Hybrid,
+    Engine::Hb,
+    Engine::Sr,
+    Engine::Kdb,
+    Engine::Scan,
+];
+
+fn datasets() -> Vec<(&'static str, Vec<Point>)> {
+    vec![
+        ("uniform-4d", uniform(1_500, 4, 11)),
+        ("clustered-6d", clustered(1_500, 6, 5, 0.02, 12)),
+        ("colhist-16d", colhist(1_200, 16, 13)),
+        ("fourier-8d", fourier(1_200, 8, 14)),
+    ]
+}
+
+fn brute_box(data: &[Point], rect: &Rect) -> Vec<u64> {
+    let mut v: Vec<u64> = data
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| rect.contains_point(p))
+        .map(|(i, _)| i as u64)
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn query_boxes(data: &[Point], n: usize, seed: u64) -> Vec<Rect> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let _dim = data[0].dim();
+    (0..n)
+        .map(|_| {
+            let c = &data[rng.gen_range(0..data.len())];
+            let h = rng.gen_range(0.02..0.3f32);
+            Rect::new(
+                c.coords().iter().map(|x| x - h).collect(),
+                c.coords().iter().map(|x| x + h).collect(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn box_queries_agree_with_brute_force_on_all_engines() {
+    for (name, data) in datasets() {
+        let queries = query_boxes(&data, 12, 21);
+        let expected: Vec<Vec<u64>> = queries.iter().map(|q| brute_box(&data, q)).collect();
+        for engine in ENGINES {
+            let (mut idx, _) = build_engine(engine, &data).unwrap();
+            for (q, want) in queries.iter().zip(&expected) {
+                let mut got = idx.box_query(q).unwrap();
+                got.sort_unstable();
+                assert_eq!(&got, want, "{} on {name}", engine.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn distance_queries_agree_where_supported() {
+    for (name, data) in datasets() {
+        let dim = data[0].dim();
+        let mut rng = StdRng::seed_from_u64(31);
+        let centers: Vec<Point> = (0..8)
+            .map(|_| data[rng.gen_range(0..data.len())].clone())
+            .collect();
+        for engine in [Engine::Hybrid, Engine::Sr, Engine::Kdb, Engine::Scan] {
+            let (mut idx, _) = build_engine(engine, &data).unwrap();
+            for metric in [&L1 as &dyn Metric, &L2] {
+                for c in &centers {
+                    let radius = 0.2 * (dim as f64).sqrt() * 0.3;
+                    let mut got = idx.distance_range(c, radius, metric).unwrap();
+                    got.sort_unstable();
+                    let mut want: Vec<u64> = data
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, p)| metric.distance(c, p) <= radius)
+                        .map(|(i, _)| i as u64)
+                        .collect();
+                    want.sort_unstable();
+                    assert_eq!(
+                        got,
+                        want,
+                        "{} on {name} under {}",
+                        engine.name(),
+                        metric.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn knn_distances_agree_where_supported() {
+    for (name, data) in datasets() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let q = data[rng.gen_range(0..data.len())].clone();
+        let mut want: Vec<f64> = data.iter().map(|p| L2.distance(&q, p)).collect();
+        want.sort_by(f64::total_cmp);
+        for engine in [Engine::Hybrid, Engine::Sr, Engine::Kdb, Engine::Scan] {
+            let (mut idx, _) = build_engine(engine, &data).unwrap();
+            let got = idx.knn(&q, 15, &L2).unwrap();
+            assert_eq!(got.len(), 15);
+            for (i, (_, d)) in got.iter().enumerate() {
+                assert!(
+                    (d - want[i]).abs() < 1e-9,
+                    "{} on {name}: rank {i} dist {d} != {}",
+                    engine.name(),
+                    want[i]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn deletes_are_respected_by_all_engines() {
+    let data = uniform(800, 3, 51);
+    let mut rng = StdRng::seed_from_u64(52);
+    let mut dead = vec![false; data.len()];
+    for _ in 0..250 {
+        dead[rng.gen_range(0..data.len())] = true;
+    }
+    let rect = Rect::new(vec![0.15; 3], vec![0.85; 3]);
+    let mut want: Vec<u64> = data
+        .iter()
+        .enumerate()
+        .filter(|(i, p)| !dead[*i] && rect.contains_point(p))
+        .map(|(i, _)| i as u64)
+        .collect();
+    want.sort_unstable();
+    for engine in ENGINES {
+        let (mut idx, _) = build_engine(engine, &data).unwrap();
+        for (i, p) in data.iter().enumerate() {
+            if dead[i] {
+                assert!(idx.delete(p, i as u64).unwrap(), "{}: delete {i}", engine.name());
+            }
+        }
+        assert_eq!(idx.len(), data.len() - dead.iter().filter(|d| **d).count());
+        let mut got = idx.box_query(&rect).unwrap();
+        got.sort_unstable();
+        assert_eq!(got, want, "{} after deletes", engine.name());
+    }
+}
+
+#[test]
+fn dimension_mismatch_rejected_everywhere() {
+    let data = uniform(50, 4, 61);
+    for engine in ENGINES {
+        let (mut idx, _) = build_engine(engine, &data).unwrap();
+        assert!(matches!(
+            idx.insert(Point::origin(5), 0),
+            Err(IndexError::DimensionMismatch { .. })
+        ));
+        assert!(idx.box_query(&Rect::unit(3)).is_err(), "{}", engine.name());
+    }
+}
+
+#[test]
+fn empty_query_results_are_empty_not_errors() {
+    let data = uniform(300, 3, 71);
+    for engine in ENGINES {
+        let (mut idx, _) = build_engine(engine, &data).unwrap();
+        // A window far outside the data.
+        let rect = Rect::new(vec![5.0; 3], vec![6.0; 3]);
+        assert!(idx.box_query(&rect).unwrap().is_empty(), "{}", engine.name());
+    }
+}

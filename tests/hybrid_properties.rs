@@ -1,0 +1,165 @@
+//! Property-based tests of the hybrid tree: arbitrary operation
+//! sequences must keep the tree equivalent to a naive multiset oracle
+//! and keep every structural invariant intact.
+
+use hybridtree_repro::prelude::*;
+use proptest::prelude::*;
+
+/// Operations the fuzzer can apply.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(Vec<f32>),
+    /// Delete the i-th still-live entry (modulo live count).
+    Delete(usize),
+    Box(Vec<f32>, f32),
+    Range(Vec<f32>, f64),
+    Knn(Vec<f32>, usize),
+}
+
+fn op_strategy(dim: usize) -> impl Strategy<Value = Op> {
+    let coord = -1.0f32..2.0; // roam outside the unit cube on purpose
+    let point = proptest::collection::vec(coord, dim);
+    prop_oneof![
+        4 => point.clone().prop_map(Op::Insert),
+        1 => (0usize..1024).prop_map(Op::Delete),
+        1 => (point.clone(), 0.01f32..0.8).prop_map(|(c, h)| Op::Box(c, h)),
+        1 => (point.clone(), 0.01f64..1.0).prop_map(|(c, r)| Op::Range(c, r)),
+        1 => (point, 1usize..12).prop_map(|(c, k)| Op::Knn(c, k)),
+    ]
+}
+
+fn tiny_page_config() -> HybridTreeConfig {
+    HybridTreeConfig {
+        page_size: 256, // force frequent splits
+        ..HybridTreeConfig::default()
+    }
+}
+
+fn run_ops(dim: usize, ops: Vec<Op>, cfg: HybridTreeConfig) {
+    let mut tree = HybridTree::new(dim, cfg).unwrap();
+    let mut oracle: Vec<(Point, u64)> = Vec::new();
+    let mut next_oid = 0u64;
+    for op in ops {
+        match op {
+            Op::Insert(coords) => {
+                let p = Point::new(coords);
+                tree.insert(p.clone(), next_oid).unwrap();
+                oracle.push((p, next_oid));
+                next_oid += 1;
+            }
+            Op::Delete(i) => {
+                if oracle.is_empty() {
+                    continue;
+                }
+                let (p, oid) = oracle.swap_remove(i % oracle.len());
+                assert!(tree.delete(&p, oid).unwrap(), "oracle entry must exist");
+            }
+            Op::Box(center, h) => {
+                let rect = Rect::new(
+                    center.iter().map(|c| c - h).collect(),
+                    center.iter().map(|c| c + h).collect(),
+                );
+                let mut got = tree.box_query(&rect).unwrap();
+                got.sort_unstable();
+                let mut want: Vec<u64> = oracle
+                    .iter()
+                    .filter(|(p, _)| rect.contains_point(p))
+                    .map(|(_, o)| *o)
+                    .collect();
+                want.sort_unstable();
+                assert_eq!(got, want, "box query diverged from oracle");
+            }
+            Op::Range(center, r) => {
+                let q = Point::new(center);
+                let mut got = tree.distance_range(&q, r, &L1).unwrap();
+                got.sort_unstable();
+                let mut want: Vec<u64> = oracle
+                    .iter()
+                    .filter(|(p, _)| L1.distance(&q, p) <= r)
+                    .map(|(_, o)| *o)
+                    .collect();
+                want.sort_unstable();
+                assert_eq!(got, want, "range query diverged from oracle");
+            }
+            Op::Knn(center, k) => {
+                let q = Point::new(center);
+                let got = tree.knn(&q, k, &L2).unwrap();
+                assert_eq!(got.len(), k.min(oracle.len()));
+                let mut want: Vec<f64> =
+                    oracle.iter().map(|(p, _)| L2.distance(&q, p)).collect();
+                want.sort_by(f64::total_cmp);
+                for (i, (_, d)) in got.iter().enumerate() {
+                    assert!(
+                        (d - want[i]).abs() < 1e-9,
+                        "kNN rank {i}: {d} vs oracle {}",
+                        want[i]
+                    );
+                }
+            }
+        }
+    }
+    assert_eq!(tree.len(), oracle.len());
+    tree.check_invariants().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64, ..ProptestConfig::default()
+    })]
+
+    /// 2-d with tiny pages: deep trees, many splits and eliminations.
+    #[test]
+    fn random_ops_match_oracle_2d(ops in proptest::collection::vec(op_strategy(2), 1..300)) {
+        run_ops(2, ops, tiny_page_config());
+    }
+
+    /// 5-d exercises multi-dimensional split choices.
+    #[test]
+    fn random_ops_match_oracle_5d(ops in proptest::collection::vec(op_strategy(5), 1..200)) {
+        run_ops(5, ops, tiny_page_config());
+    }
+
+    /// ELS disabled must behave identically (pruning is an optimization).
+    #[test]
+    fn random_ops_match_oracle_without_els(
+        ops in proptest::collection::vec(op_strategy(3), 1..200)
+    ) {
+        run_ops(3, ops, HybridTreeConfig { els_bits: 0, ..tiny_page_config() });
+    }
+
+    /// High-precision ELS must also be conservative.
+    #[test]
+    fn random_ops_match_oracle_els16(
+        ops in proptest::collection::vec(op_strategy(3), 1..150)
+    ) {
+        run_ops(3, ops, HybridTreeConfig { els_bits: 16, ..tiny_page_config() });
+    }
+
+    /// Duplicate-heavy workloads: coordinates snapped to a coarse grid.
+    #[test]
+    fn duplicate_heavy_ops_match_oracle(
+        raw in proptest::collection::vec(op_strategy(2), 1..250)
+    ) {
+        let ops: Vec<Op> = raw
+            .into_iter()
+            .map(|op| match op {
+                Op::Insert(c) => {
+                    Op::Insert(c.into_iter().map(|x| (x * 4.0).round() / 4.0).collect())
+                }
+                other => other,
+            })
+            .collect();
+        run_ops(2, ops, tiny_page_config());
+    }
+
+    /// VAM split policy under fuzzing (the Fig 5 comparator must be
+    /// correct, not just slower).
+    #[test]
+    fn vam_policy_matches_oracle(ops in proptest::collection::vec(op_strategy(3), 1..150)) {
+        run_ops(
+            3,
+            ops,
+            HybridTreeConfig { split_policy: SplitPolicy::Vam, ..tiny_page_config() },
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Workload/calibration integration: the constant-selectivity machinery
+//! must hit its targets on the synthetic datasets at realistic sizes,
+//! and the datasets must have the statistical shape the experiments
+//! assume.
+
+use hybridtree_repro::data::{
+    calibrate_box_side, colhist, fourier, BoxWorkload, DistanceWorkload,
+};
+use hybridtree_repro::prelude::*;
+
+#[test]
+fn colhist_box_selectivity_calibrates_to_paper_target() {
+    // The paper's COLHIST setting: 0.2% selectivity.
+    let data = colhist(8_000, 32, 1);
+    let wl = BoxWorkload::calibrated(&data, 30, 0.002, 2);
+    let mut hits = 0usize;
+    for q in &wl.queries {
+        hits += data.iter().filter(|p| q.contains_point(p)).count();
+    }
+    let sel = hits as f64 / (data.len() * wl.queries.len()) as f64;
+    assert!(
+        (sel - 0.002).abs() < 0.002,
+        "COLHIST selectivity {sel}, wanted ~0.002"
+    );
+}
+
+#[test]
+fn fourier_box_selectivity_calibrates_to_paper_target() {
+    // The paper's FOURIER setting: 0.07% selectivity.
+    let data = fourier(10_000, 16, 3);
+    let wl = BoxWorkload::calibrated(&data, 30, 0.0007, 4);
+    let mut hits = 0usize;
+    for q in &wl.queries {
+        hits += data.iter().filter(|p| q.contains_point(p)).count();
+    }
+    let sel = hits as f64 / (data.len() * wl.queries.len()) as f64;
+    assert!(
+        (sel - 0.0007).abs() < 0.0012,
+        "FOURIER selectivity {sel}, wanted ~0.0007"
+    );
+}
+
+#[test]
+fn l1_distance_workload_calibrates_on_colhist() {
+    // Fig 7(c,d)'s setting: L1 range queries on COLHIST.
+    let data = colhist(6_000, 64, 5);
+    let wl = DistanceWorkload::calibrated(&data, 25, 0.002, &L1, 6);
+    let mut hits = 0usize;
+    for c in &wl.centers {
+        hits += data
+            .iter()
+            .filter(|p| L1.distance(c, p) <= wl.radius)
+            .count();
+    }
+    let sel = hits as f64 / (data.len() * wl.centers.len()) as f64;
+    assert!(
+        (sel - 0.002).abs() < 0.002,
+        "L1 selectivity {sel}, wanted ~0.002"
+    );
+}
+
+#[test]
+fn higher_dimensions_need_larger_query_sides() {
+    // The curse of dimensionality that drives the paper's story: at a
+    // fixed selectivity over uniform data, the calibrated box side grows
+    // with dimensionality (side ~ selectivity^(1/dim)).
+    use hybridtree_repro::data::uniform;
+    let sides: Vec<f64> = [4usize, 8, 16]
+        .iter()
+        .map(|&dim| {
+            let data = uniform(4_000, dim, 7);
+            let centers: Vec<Point> = data[..20].to_vec();
+            calibrate_box_side(&data, &centers, 0.002)
+        })
+        .collect();
+    assert!(
+        sides[0] < sides[1] && sides[1] < sides[2],
+        "query side must grow with dimensionality: {sides:?}"
+    );
+}
+
+#[test]
+fn selectivity_holds_when_executed_through_an_index() {
+    // End-to-end: the calibrated workload run through the hybrid tree
+    // returns roughly target-selectivity result sets.
+    let data = colhist(6_000, 16, 9);
+    let wl = BoxWorkload::calibrated(&data, 20, 0.002, 10);
+    let mut tree = HybridTree::new(16, HybridTreeConfig::default()).unwrap();
+    for (i, p) in data.iter().enumerate() {
+        tree.insert(p.clone(), i as u64).unwrap();
+    }
+    let mut hits = 0usize;
+    for q in &wl.queries {
+        hits += tree.box_query(q).unwrap().len();
+    }
+    let sel = hits as f64 / (data.len() * wl.queries.len()) as f64;
+    assert!((sel - 0.002).abs() < 0.002, "indexed selectivity {sel}");
+}
