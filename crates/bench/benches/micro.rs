@@ -3,9 +3,10 @@
 //! three query kinds. These complement the figure benches (which measure
 //! whole experiments) by tracking per-operation regressions.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hybrid_tree::{bipartition_1d, HybridTree, HybridTreeConfig};
 use hyt_data::{colhist, uniform, BoxWorkload};
+use hyt_eval::{run_batch_parallel, BatchQuery};
 use hyt_geom::{Metric, Point, Rect, L1, L2};
 use hyt_index::MultidimIndex;
 use rand::prelude::*;
@@ -89,11 +90,51 @@ fn bench_queries(c: &mut Criterion) {
     g.finish();
 }
 
+/// Batch-query throughput: the same kNN batch over one shared tree,
+/// scheduled on 1/2/4 worker threads. The pool is sized to hold the
+/// whole tree (the sharded read path serves warm hits concurrently), so
+/// this tracks the scalability of the concurrent query engine.
+fn bench_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch");
+    g.sample_size(10);
+    let dim = 16usize;
+    let data = uniform(20_000, dim, 19);
+    let mut tree = HybridTree::new(
+        dim,
+        HybridTreeConfig {
+            pool_pages: 8192,
+            ..HybridTreeConfig::default()
+        },
+    )
+    .unwrap();
+    for (i, p) in data.iter().enumerate() {
+        tree.insert(p.clone(), i as u64).unwrap();
+    }
+    let queries: Vec<BatchQuery> = data
+        .iter()
+        .step_by(250)
+        .take(64)
+        .map(|p| BatchQuery::Knn(p.clone(), 10))
+        .collect();
+    g.throughput(Throughput::Elements(queries.len() as u64));
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("knn10_16d_20k", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| black_box(run_batch_parallel(&tree, &L2, &queries, t).unwrap().len()))
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_metrics,
     bench_bipartition,
     bench_insert,
-    bench_queries
+    bench_queries,
+    bench_batch
 );
 criterion_main!(benches);

@@ -16,9 +16,7 @@ pub fn emit(
     driver: impl FnOnce(&Scale) -> Result<FigureReport, hyt_index::IndexError>,
 ) {
     let scale = Scale::from_env();
-    eprintln!(
-        "[{name}] running at scale {scale:?} (set HYT_SCALE=paper for full sizes)"
-    );
+    eprintln!("[{name}] running at scale {scale:?} (set HYT_SCALE=paper for full sizes)");
     let started = std::time::Instant::now();
     let report = match driver(&scale) {
         Ok(r) => r,

@@ -81,11 +81,9 @@ impl<S: Storage> HybridTree<S> {
         }
         let data_min = ((cfg.min_fill * data_cap as f64).floor() as usize).max(1);
         let len = entries.len();
-        let global_br = Rect::bounding(
-            &entries.iter().map(|(p, _)| p.clone()).collect::<Vec<_>>(),
-        );
+        let global_br = Rect::bounding(&entries.iter().map(|(p, _)| p.clone()).collect::<Vec<_>>());
 
-        let mut pool = BufferPool::new(storage, cfg.pool_pages);
+        let pool = BufferPool::new(storage, cfg.pool_pages);
         let mut els = ElsTable::new(dim, cfg.els_bits);
 
         // ---- 1. leaf level: recursive clean partitioning ----------------
@@ -95,7 +93,7 @@ impl<S: Storage> HybridTree<S> {
             .collect();
         let mut leaves: Vec<(PageId, Rect)> = Vec::new();
         build_leaves(
-            &mut pool,
+            &pool,
             &mut els,
             dim,
             data_cap,
@@ -173,7 +171,7 @@ impl<S: Storage> HybridTree<S> {
 /// writes them as data nodes, appending `(pid, live BR)` to `leaves` in
 /// partition order.
 fn build_leaves<S: Storage>(
-    pool: &mut BufferPool<S>,
+    pool: &BufferPool<S>,
     els: &mut ElsTable,
     dim: usize,
     data_cap: usize,
@@ -181,18 +179,14 @@ fn build_leaves<S: Storage>(
     leaves: &mut Vec<(PageId, Rect)>,
 ) -> IndexResult<()> {
     if entries.len() <= data_cap {
-        let live = Rect::bounding(
-            &entries.iter().map(|e| e.point.clone()).collect::<Vec<_>>(),
-        );
+        let live = Rect::bounding(&entries.iter().map(|e| e.point.clone()).collect::<Vec<_>>());
         let pid = pool.allocate()?;
         els.set_from_points(pid, entries.iter().map(|e| &e.point), &live);
         pool.write(pid, &Node::Data(std::mem::take(entries)).encode(dim))?;
         leaves.push((pid, live));
         return Ok(());
     }
-    let live = Rect::bounding(
-        &entries.iter().map(|e| e.point.clone()).collect::<Vec<_>>(),
-    );
+    let live = Rect::bounding(&entries.iter().map(|e| e.point.clone()).collect::<Vec<_>>());
     let d = live.max_extent_dim();
     entries.sort_by(|a, b| a.point.coord(d).total_cmp(&b.point.coord(d)));
     let mut right = entries.split_off(entries.len() / 2);
@@ -230,7 +224,7 @@ mod tests {
 
     #[test]
     fn bulk_tree_passes_invariants() {
-        let mut t = HybridTree::bulk_load(points(2000, 3, 1), cfg()).unwrap();
+        let t = HybridTree::bulk_load(points(2000, 3, 1), cfg()).unwrap();
         assert_eq!(t.len(), 2000);
         assert!(t.height() > 1);
         t.check_invariants().unwrap();
@@ -239,7 +233,7 @@ mod tests {
     #[test]
     fn bulk_tree_answers_like_inserted_tree() {
         let pts = points(1500, 4, 2);
-        let mut bulk = HybridTree::bulk_load(pts.clone(), cfg()).unwrap();
+        let bulk = HybridTree::bulk_load(pts.clone(), cfg()).unwrap();
         let mut inc = HybridTree::new(4, cfg()).unwrap();
         for (p, oid) in &pts {
             inc.insert(p.clone(), *oid).unwrap();
@@ -285,7 +279,7 @@ mod tests {
     #[test]
     fn bulk_packs_leaves_tighter_than_insertion() {
         let pts = points(5000, 4, 5);
-        let mut bulk = HybridTree::bulk_load(pts.clone(), cfg()).unwrap();
+        let bulk = HybridTree::bulk_load(pts.clone(), cfg()).unwrap();
         let mut inc = HybridTree::new(4, cfg()).unwrap();
         for (p, oid) in &pts {
             inc.insert(p.clone(), *oid).unwrap();
@@ -300,7 +294,7 @@ mod tests {
 
     #[test]
     fn bulk_handles_single_page_collection() {
-        let mut t = HybridTree::bulk_load(points(5, 2, 6), cfg()).unwrap();
+        let t = HybridTree::bulk_load(points(5, 2, 6), cfg()).unwrap();
         assert_eq!(t.height(), 1);
         assert_eq!(t.len(), 5);
         t.check_invariants().unwrap();
@@ -312,7 +306,7 @@ mod tests {
         let entries: Vec<(Point, u64)> = (0..500)
             .map(|i| (Point::new(vec![0.25, 0.75]), i))
             .collect();
-        let mut t = HybridTree::bulk_load(entries, cfg()).unwrap();
+        let t = HybridTree::bulk_load(entries, cfg()).unwrap();
         assert_eq!(t.len(), 500);
         t.check_invariants().unwrap();
         let hits = t.point_query(&Point::new(vec![0.25, 0.75])).unwrap();

@@ -195,7 +195,10 @@ mod tests {
 
     #[test]
     fn degenerate_extent_scores_worst() {
-        for d in [QuerySizeDist::Fixed(0.1), QuerySizeDist::Uniform { max: 1.0 }] {
+        for d in [
+            QuerySizeDist::Fixed(0.1),
+            QuerySizeDist::Uniform { max: 1.0 },
+        ] {
             assert_eq!(d.split_cost(0.0, 0.0), 1.0);
         }
     }

@@ -373,8 +373,10 @@ mod tests {
 
     #[test]
     fn more_bits_means_tighter_regions() {
-        let pts = [Point::new(vec![0.301, 0.299]),
-            Point::new(vec![0.302, 0.301])];
+        let pts = [
+            Point::new(vec![0.301, 0.299]),
+            Point::new(vec![0.302, 0.301]),
+        ];
         let region = Rect::unit(2);
         let mut vol_prev = f64::INFINITY;
         for bits in [1u8, 2, 4, 8, 12] {

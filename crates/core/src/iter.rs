@@ -22,7 +22,7 @@ use crate::node::Node;
 use crate::tree::HybridTree;
 use hyt_geom::{Metric, Point, Rect};
 use hyt_index::{check_dim, IndexResult};
-use hyt_page::{PageId, Storage};
+use hyt_page::{IoStats, PageId, Storage};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -63,16 +63,23 @@ impl Ord for QueueItem {
 /// Streaming nearest-neighbor cursor over a [`HybridTree`].
 ///
 /// Created by [`HybridTree::nearest_iter`]; see the module docs. The
-/// cursor borrows the tree mutably (page reads go through the buffer
-/// pool), so interleave pulls with other operations by dropping it.
+/// cursor borrows the tree *shared*, so several cursors (or other
+/// queries) can run concurrently over one tree; page reads it performs
+/// are attributed to the cursor's own [`io_stats`](Self::io_stats) as
+/// well as to the pool-global counters.
 pub struct NearestIter<'t, 'm, S: Storage> {
-    tree: &'t mut HybridTree<S>,
+    tree: &'t HybridTree<S>,
     metric: &'m dyn Metric,
     q: Point,
     heap: BinaryHeap<QueueItem>,
+    io: IoStats,
 }
 
 impl<S: Storage> NearestIter<'_, '_, S> {
+    /// I/O incurred by this cursor since it was opened.
+    pub fn io_stats(&self) -> IoStats {
+        self.io
+    }
     /// Pulls the next-nearest entry, or `None` when exhausted.
     ///
     /// (Not the `Iterator` trait: page reads can fail, so the signature
@@ -84,7 +91,7 @@ impl<S: Storage> NearestIter<'_, '_, S> {
             match item.payload {
                 Payload::Entry { oid } => return Ok(Some((oid, item.dist))),
                 Payload::Node { pid, region } => {
-                    match self.tree.read_node(pid)? {
+                    match self.tree.read_node_tracked(pid, &mut self.io)? {
                         Node::Data(entries) => {
                             for e in entries {
                                 let d = self.metric.distance(&self.q, &e.point);
@@ -150,7 +157,7 @@ impl<S: Storage> HybridTree<S> {
     /// Opens an incremental nearest-neighbor cursor at `q` under
     /// `metric` (ranked retrieval; see [module docs](self)).
     pub fn nearest_iter<'t, 'm>(
-        &'t mut self,
+        &'t self,
         q: &Point,
         metric: &'m dyn Metric,
     ) -> IndexResult<NearestIter<'t, 'm, S>> {
@@ -171,6 +178,7 @@ impl<S: Storage> HybridTree<S> {
             metric,
             q: q.clone(),
             heap,
+            io: IoStats::default(),
         })
     }
 
@@ -180,7 +188,7 @@ impl<S: Storage> HybridTree<S> {
     /// is exact kNN; larger values prune more aggressively and read
     /// fewer pages (the trade-off the paper's future work targets).
     pub fn knn_approximate(
-        &mut self,
+        &self,
         q: &Point,
         k: usize,
         epsilon: f64,
@@ -215,10 +223,16 @@ impl<S: Storage> HybridTree<S> {
                     for e in entries {
                         let d = metric.distance(q, &e.point);
                         if best.len() < k {
-                            best.push(BestHit { dist: d, oid: e.oid });
+                            best.push(BestHit {
+                                dist: d,
+                                oid: e.oid,
+                            });
                         } else if d < best.peek().unwrap().dist {
                             best.pop();
-                            best.push(BestHit { dist: d, oid: e.oid });
+                            best.push(BestHit {
+                                dist: d,
+                                oid: e.oid,
+                            });
                         }
                     }
                 }
@@ -281,7 +295,9 @@ impl PartialOrd for BestHit {
 }
 impl Ord for BestHit {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.dist.total_cmp(&other.dist).then(self.oid.cmp(&other.oid))
+        self.dist
+            .total_cmp(&other.dist)
+            .then(self.oid.cmp(&other.oid))
     }
 }
 
@@ -312,7 +328,7 @@ mod tests {
 
     #[test]
     fn nearest_iter_yields_sorted_distances() {
-        let (mut t, pts) = build(500, 3, 1);
+        let (t, pts) = build(500, 3, 1);
         let q = Point::new(vec![0.4, 0.6, 0.5]);
         let mut it = t.nearest_iter(&q, &L2).unwrap();
         let mut prev = 0.0;
@@ -327,7 +343,7 @@ mod tests {
 
     #[test]
     fn nearest_iter_prefix_equals_knn() {
-        let (mut t, _) = build(400, 4, 2);
+        let (t, _) = build(400, 4, 2);
         let q = Point::new(vec![0.2; 4]);
         let want = t.knn(&q, 12, &L1).unwrap();
         let got = t.nearest_iter(&q, &L1).unwrap().take(12).unwrap();
@@ -339,7 +355,7 @@ mod tests {
 
     #[test]
     fn nearest_iter_on_empty_tree() {
-        let mut t = HybridTree::new(2, HybridTreeConfig::default()).unwrap();
+        let t = HybridTree::new(2, HybridTreeConfig::default()).unwrap();
         let q = Point::new(vec![0.5, 0.5]);
         let mut it = t.nearest_iter(&q, &L2).unwrap();
         assert!(it.next().unwrap().is_none());
@@ -347,7 +363,7 @@ mod tests {
 
     #[test]
     fn approximate_with_zero_epsilon_is_exact() {
-        let (mut t, _) = build(600, 3, 3);
+        let (t, _) = build(600, 3, 3);
         let q = Point::new(vec![0.7, 0.1, 0.5]);
         let exact = t.knn(&q, 10, &L2).unwrap();
         let approx = t.knn_approximate(&q, 10, 0.0, &L2).unwrap();
@@ -358,7 +374,7 @@ mod tests {
 
     #[test]
     fn approximate_respects_the_epsilon_guarantee() {
-        let (mut t, _) = build(800, 4, 4);
+        let (t, _) = build(800, 4, 4);
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..10 {
             let q = Point::new((0..4).map(|_| rng.gen::<f32>()).collect());
@@ -380,7 +396,7 @@ mod tests {
 
     #[test]
     fn larger_epsilon_reads_fewer_pages() {
-        let (mut t, _) = build(3000, 6, 6);
+        let (t, _) = build(3000, 6, 6);
         let q = Point::new(vec![0.5; 6]);
         let mut accesses = Vec::new();
         for eps in [0.0, 0.5, 2.0] {
@@ -396,7 +412,7 @@ mod tests {
 
     #[test]
     fn incremental_pull_is_cheaper_than_full_scan() {
-        let (mut t, _) = build(3000, 4, 7);
+        let (t, _) = build(3000, 4, 7);
         let q = Point::new(vec![0.5; 4]);
         t.reset_io_stats();
         let first = t.nearest_iter(&q, &L2).unwrap().take(3).unwrap();

@@ -405,7 +405,9 @@ impl KdTree {
     /// child regions, so containment of the data beneath is preserved.
     pub fn restricted_to(&self, keep: &std::collections::HashSet<PageId>) -> Option<KdTree> {
         match self {
-            KdTree::Leaf { child } => keep.contains(child).then_some(KdTree::Leaf { child: *child }),
+            KdTree::Leaf { child } => keep
+                .contains(child)
+                .then_some(KdTree::Leaf { child: *child }),
             KdTree::Internal {
                 dim,
                 lsp,
@@ -474,8 +476,20 @@ mod tests {
             0,
             3.0,
             3.0,
-            KdTree::split(1, 3.0, 2.0, KdTree::leaf(PageId(10)), KdTree::leaf(PageId(11))),
-            KdTree::split(1, 4.0, 4.0, KdTree::leaf(PageId(12)), KdTree::leaf(PageId(13))),
+            KdTree::split(
+                1,
+                3.0,
+                2.0,
+                KdTree::leaf(PageId(10)),
+                KdTree::leaf(PageId(11)),
+            ),
+            KdTree::split(
+                1,
+                4.0,
+                4.0,
+                KdTree::leaf(PageId(12)),
+                KdTree::leaf(PageId(13)),
+            ),
         )
     }
 
@@ -586,7 +600,13 @@ mod tests {
     #[test]
     fn insert_descent_enlarges_in_gap() {
         // Clean split with a gap: left covers x<=2, right covers x>=4.
-        let mut t = KdTree::split(0, 2.0, 4.0, KdTree::leaf(PageId(1)), KdTree::leaf(PageId(2)));
+        let mut t = KdTree::split(
+            0,
+            2.0,
+            4.0,
+            KdTree::leaf(PageId(1)),
+            KdTree::leaf(PageId(2)),
+        );
         let c = t.choose_insert_leaf(&space(), &Point::new(vec![2.5, 0.0]));
         assert_eq!(c.child, PageId(1), "closer to the left boundary");
         assert!(c.enlarged);
@@ -604,7 +624,13 @@ mod tests {
     #[test]
     fn replace_leaf_posts_a_child_split() {
         let mut t = paper_figure1_top();
-        let posted = KdTree::split(0, 1.0, 1.0, KdTree::leaf(PageId(10)), KdTree::leaf(PageId(99)));
+        let posted = KdTree::split(
+            0,
+            1.0,
+            1.0,
+            KdTree::leaf(PageId(10)),
+            KdTree::leaf(PageId(99)),
+        );
         assert!(t.replace_leaf(PageId(10), posted));
         assert_eq!(t.fanout(), 5);
         let ids: Vec<_> = t.child_ids().iter().map(|p| p.0).collect();

@@ -175,7 +175,10 @@ mod tests {
             KdTree::leaf(PageId(7)),
             KdTree::leaf(PageId(8)),
         );
-        let n = Node::Index { level: 3, kd: kd.clone() };
+        let n = Node::Index {
+            level: 3,
+            kd: kd.clone(),
+        };
         let buf = n.encode(16);
         assert_eq!(buf.len(), n.encoded_size(16));
         let (level, got) = Node::decode(&buf, 16).unwrap().expect_index();

@@ -100,10 +100,7 @@ impl HybridTree<FileStorage> {
     }
 
     /// Reopens a tree persisted with [`persist`](Self::persist).
-    pub fn open<P: AsRef<Path>, Q: AsRef<Path>>(
-        pages_path: P,
-        meta_path: Q,
-    ) -> IndexResult<Self> {
+    pub fn open<P: AsRef<Path>, Q: AsRef<Path>>(pages_path: P, meta_path: Q) -> IndexResult<Self> {
         let buf = std::fs::read(meta_path).map_err(PageError::Io)?;
         let mut r = ByteReader::new(&buf);
         let magic = r.get_bytes(8)?;

@@ -170,12 +170,7 @@ pub(crate) fn split_data(
     debug_assert!(n >= 2);
     let m = min_count.clamp(1, n / 2);
 
-    let live = Rect::bounding(
-        &entries
-            .iter()
-            .map(|e| e.point.clone())
-            .collect::<Vec<_>>(),
-    );
+    let live = Rect::bounding(&entries.iter().map(|e| e.point.clone()).collect::<Vec<_>>());
 
     let dim = match policy {
         SplitPolicy::EdaOptimal | SplitPolicy::MaxExtentMedian => live.max_extent_dim(),
@@ -223,10 +218,7 @@ pub(crate) fn split_data(
         }
     };
 
-    let pos = midpoint(
-        entries[j - 1].point.coord(dim),
-        entries[j].point.coord(dim),
-    );
+    let pos = midpoint(entries[j - 1].point.coord(dim), entries[j].point.coord(dim));
     let right = entries.split_off(j);
     DataSplit {
         dim: dim as u16,
@@ -309,10 +301,8 @@ pub(crate) fn split_index(
     let mut best: Option<(f64, f64, u16, Bipartition)> = None;
     for &d in dims {
         let dd = d as usize;
-        let segments: Vec<(Coord, Coord)> = children
-            .iter()
-            .map(|(_, r)| (r.lo(dd), r.hi(dd)))
-            .collect();
+        let segments: Vec<(Coord, Coord)> =
+            children.iter().map(|(_, r)| (r.lo(dd), r.hi(dd))).collect();
         let bp = bipartition_1d(&segments, min_per_side);
         let s = region.extent(dd);
         let cost = qdist.split_cost(bp.overlap(), s);
@@ -413,10 +403,8 @@ pub(crate) fn build_kd(children: &[(PageId, Rect)], qdist: &QuerySizeDist) -> Kd
 
     let mut best: Option<(f64, f64, usize, Bipartition)> = None;
     for d in 0..dim_count {
-        let segments: Vec<(Coord, Coord)> = children
-            .iter()
-            .map(|(_, r)| (r.lo(d), r.hi(d)))
-            .collect();
+        let segments: Vec<(Coord, Coord)> =
+            children.iter().map(|(_, r)| (r.lo(d), r.hi(d))).collect();
         let bp = bipartition_1d(&segments, m);
         let s = region.extent(d);
         let cost = qdist.split_cost(bp.overlap(), s);
@@ -444,7 +432,6 @@ pub(crate) fn build_kd(children: &[(PageId, Rect)], qdist: &QuerySizeDist) -> Kd
 mod tests {
     use super::*;
     use hyt_geom::Point;
-
 
     /// Test helper: the entries' own bounding box as the node region
     /// (the root case, where region extent equals live extent).
@@ -527,12 +514,18 @@ mod tests {
         // 9 points near 0, 3 points near 1. The spatial middle is ~0.5;
         // the utilization quota (2) permits splitting at the big gap,
         // which the middle rule selects — the median rule would not.
-        let mut entries: Vec<DataEntry> =
-            (0..9).map(|i| e(vec![0.01 * i as f32], i)).collect();
+        let mut entries: Vec<DataEntry> = (0..9).map(|i| e(vec![0.01 * i as f32], i)).collect();
         entries.extend((0..3).map(|i| e(vec![0.95 + 0.01 * i as f32], 100 + i)));
         let mut rr = 0;
         let region = live_region(&entries);
-        let s = split_data(entries.clone(), &region, 1, 2, SplitPolicy::EdaOptimal, &mut rr);
+        let s = split_data(
+            entries.clone(),
+            &region,
+            1,
+            2,
+            SplitPolicy::EdaOptimal,
+            &mut rr,
+        );
         assert_eq!(s.left.len(), 9, "middle split isolates the gap");
         let s_vam = split_data(entries, &region, 1, 2, SplitPolicy::Vam, &mut rr);
         assert_eq!(s_vam.left.len(), 6, "median split balances counts");
@@ -555,9 +548,8 @@ mod tests {
         // Dim 0 has a huge extent caused by one outlier but small
         // variance; dim 1 has consistent spread. VAM picks dim 1 while
         // max-extent picks dim 0 — the distinction the paper discusses.
-        let mut entries: Vec<DataEntry> = (0..20)
-            .map(|i| e(vec![0.5, 0.05 * i as f32], i))
-            .collect();
+        let mut entries: Vec<DataEntry> =
+            (0..20).map(|i| e(vec![0.5, 0.05 * i as f32], i)).collect();
         entries.push(e(vec![1.5, 0.5], 99)); // outlier on dim 0
         let mut rr = 0;
         let region = live_region(&entries);
@@ -574,8 +566,22 @@ mod tests {
             .collect();
         let mut rr = 0;
         let region = live_region(&entries);
-        let a = split_data(entries.clone(), &region, 3, 2, SplitPolicy::RoundRobin, &mut rr);
-        let b = split_data(entries.clone(), &region, 3, 2, SplitPolicy::RoundRobin, &mut rr);
+        let a = split_data(
+            entries.clone(),
+            &region,
+            3,
+            2,
+            SplitPolicy::RoundRobin,
+            &mut rr,
+        );
+        let b = split_data(
+            entries.clone(),
+            &region,
+            3,
+            2,
+            SplitPolicy::RoundRobin,
+            &mut rr,
+        );
         let c = split_data(entries, &region, 3, 2, SplitPolicy::RoundRobin, &mut rr);
         assert_eq!((a.dim, b.dim, c.dim), (0, 1, 2));
     }
@@ -639,13 +645,7 @@ mod tests {
             child(4, vec![0.05], vec![0.95]),
         ];
         let region = Rect::unit(1);
-        let s = split_index(
-            &children,
-            &region,
-            &[0],
-            2,
-            &QuerySizeDist::Fixed(0.1),
-        );
+        let s = split_index(&children, &region, &[0], 2, &QuerySizeDist::Fixed(0.1));
         assert!(s.lsp > s.rsp, "overlap is the price of utilization");
         assert_eq!(s.left.len() + s.right.len(), 4);
         assert!(s.left.len() >= 2 && s.right.len() >= 2);

@@ -7,7 +7,7 @@ use hyt_page::Storage;
 
 /// Walks the whole tree and aggregates the properties compared in the
 /// paper's Tables 1–2: fanout, utilization, overlap, split-dimension use.
-pub(crate) fn compute<S: Storage>(tree: &mut HybridTree<S>) -> IndexResult<StructureStats> {
+pub(crate) fn compute<S: Storage>(tree: &HybridTree<S>) -> IndexResult<StructureStats> {
     let mut st = StructureStats {
         height: tree.height,
         ..StructureStats::default()

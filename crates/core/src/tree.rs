@@ -4,8 +4,8 @@ use crate::config::HybridTreeConfig;
 use crate::els::ElsTable;
 use crate::kdtree::KdTree;
 use crate::node::{data_capacity, DataEntry, Node, INDEX_HEADER_BYTES};
-use crate::view::NodeView;
 use crate::split::{build_kd, split_data, split_index};
+use crate::view::NodeView;
 use hyt_geom::{Coord, Metric, Point, Rect};
 use hyt_index::{check_dim, IndexError, IndexResult, MultidimIndex, StructureStats};
 use hyt_page::{BufferPool, IoStats, MemStorage, PageId, Storage};
@@ -71,7 +71,9 @@ impl<S: Storage> HybridTree<S> {
     pub fn with_storage(dim: usize, cfg: HybridTreeConfig, storage: S) -> IndexResult<Self> {
         cfg.validate().map_err(IndexError::Internal)?;
         if dim == 0 || dim > u16::MAX as usize {
-            return Err(IndexError::Internal(format!("unsupported dimensionality {dim}")));
+            return Err(IndexError::Internal(format!(
+                "unsupported dimensionality {dim}"
+            )));
         }
         if storage.page_size() != cfg.page_size {
             return Err(IndexError::Internal(format!(
@@ -89,7 +91,7 @@ impl<S: Storage> HybridTree<S> {
         }
         let data_min = ((cfg.min_fill * data_cap as f64).floor() as usize).max(1);
         let els = ElsTable::new(dim, cfg.els_bits);
-        let mut pool = BufferPool::new(storage, cfg.pool_pages);
+        let pool = BufferPool::new(storage, cfg.pool_pages);
         let root = pool.allocate()?;
         let empty = Node::Data(Vec::new());
         pool.write(root, &empty.encode(dim))?;
@@ -162,7 +164,7 @@ impl<S: Storage> HybridTree<S> {
     }
 
     /// Exact-match query: oids of entries whose point equals `p`.
-    pub fn point_query(&mut self, p: &Point) -> IndexResult<Vec<u64>> {
+    pub fn point_query(&self, p: &Point) -> IndexResult<Vec<u64>> {
         check_dim(self.dim, p.dim())?;
         if self.len == 0 {
             return Ok(Vec::new());
@@ -187,7 +189,7 @@ impl<S: Storage> HybridTree<S> {
     /// Runs the full structural invariant checker (containment,
     /// utilization, page-size, ELS conservativeness, level consistency,
     /// entry count). Intended for tests; `O(size of tree)`.
-    pub fn check_invariants(&mut self) -> IndexResult<()> {
+    pub fn check_invariants(&self) -> IndexResult<()> {
         crate::verify::check(self)
     }
 
@@ -201,8 +203,15 @@ impl<S: Storage> HybridTree<S> {
             .unwrap_or_else(|| Rect::from_point(&Point::origin(self.dim)))
     }
 
-    pub(crate) fn read_node(&mut self, pid: PageId) -> IndexResult<Node> {
+    pub(crate) fn read_node(&self, pid: PageId) -> IndexResult<Node> {
         let buf = self.pool.read(pid)?;
+        Ok(Node::decode(&buf, self.dim)?)
+    }
+
+    /// Reads a node, attributing the page access to `io` (per-query I/O
+    /// accounting for concurrent search).
+    pub(crate) fn read_node_tracked(&self, pid: PageId, io: &mut IoStats) -> IndexResult<Node> {
+        let buf = self.pool.read_tracked(pid, io)?;
         Ok(Node::decode(&buf, self.dim)?)
     }
 
@@ -236,7 +245,13 @@ impl<S: Storage> HybridTree<S> {
                 KdTree::leaf(post.new_page),
             );
             let new_root = self.pool.allocate()?;
-            self.write_node(new_root, &Node::Index { level: new_level, kd })?;
+            self.write_node(
+                new_root,
+                &Node::Index {
+                    level: new_level,
+                    kd,
+                },
+            )?;
             self.root = new_root;
             self.height += 1;
         }
@@ -372,7 +387,13 @@ impl<S: Storage> HybridTree<S> {
             .set_from_rects(new_pid, right_live.iter(), &region.clamp_below(d, is.rsp));
 
         self.write_node(pid, &Node::Index { level, kd: kd_left })?;
-        self.write_node(new_pid, &Node::Index { level, kd: kd_right })?;
+        self.write_node(
+            new_pid,
+            &Node::Index {
+                level,
+                kd: kd_right,
+            },
+        )?;
         Ok(SplitPost {
             dim: is.dim,
             lsp: is.lsp,
@@ -574,16 +595,17 @@ impl<S: Storage> MultidimIndex for HybridTree<S> {
         }
     }
 
-    fn box_query(&mut self, rect: &Rect) -> IndexResult<Vec<u64>> {
+    fn box_query_counted(&self, rect: &Rect) -> IndexResult<(Vec<u64>, IoStats)> {
         check_dim(self.dim, rect.dim())?;
+        let mut io = IoStats::default();
         if self.len == 0 {
-            return Ok(Vec::new());
+            return Ok((Vec::new(), io));
         }
         let mut out = Vec::new();
         let mut stack = vec![self.root];
         let mut kids = Vec::new();
         while let Some(pid) = stack.pop() {
-            let buf = self.pool.read(pid)?;
+            let buf = self.pool.read_tracked(pid, &mut io)?;
             // Navigate the serialized node in place (paper §3.1: kd-based
             // intra-node search beats scanning an array of BRs).
             match NodeView::parse(&buf, self.dim)? {
@@ -598,18 +620,19 @@ impl<S: Storage> MultidimIndex for HybridTree<S> {
                 }
             }
         }
-        Ok(out)
+        Ok((out, io))
     }
 
-    fn distance_range(
-        &mut self,
+    fn distance_range_counted(
+        &self,
         q: &Point,
         radius: f64,
         metric: &dyn Metric,
-    ) -> IndexResult<Vec<u64>> {
+    ) -> IndexResult<(Vec<u64>, IoStats)> {
         check_dim(self.dim, q.dim())?;
+        let mut io = IoStats::default();
         if self.len == 0 {
-            return Ok(Vec::new());
+            return Ok((Vec::new(), io));
         }
         let mut out = Vec::new();
         if self.els.enabled() {
@@ -618,7 +641,7 @@ impl<S: Storage> MultidimIndex for HybridTree<S> {
             let mut stack = vec![self.root];
             let mut kids = Vec::new();
             while let Some(pid) = stack.pop() {
-                let buf = self.pool.read(pid)?;
+                let buf = self.pool.read_tracked(pid, &mut io)?;
                 match NodeView::parse(&buf, self.dim)? {
                     NodeView::Index(view) => {
                         kids.clear();
@@ -646,13 +669,13 @@ impl<S: Storage> MultidimIndex for HybridTree<S> {
                     }
                 }
             }
-            return Ok(out);
+            return Ok((out, io));
         }
         // ELS disabled: prune with kd-regions tracked down the tree.
         let region = self.root_region();
         let mut stack = vec![(self.root, region)];
         while let Some((pid, region)) = stack.pop() {
-            match self.read_node(pid)? {
+            match self.read_node_tracked(pid, &mut io)? {
                 Node::Data(entries) => out.extend(
                     entries
                         .iter()
@@ -668,13 +691,19 @@ impl<S: Storage> MultidimIndex for HybridTree<S> {
                 }
             }
         }
-        Ok(out)
+        Ok((out, io))
     }
 
-    fn knn(&mut self, q: &Point, k: usize, metric: &dyn Metric) -> IndexResult<Vec<(u64, f64)>> {
+    fn knn_counted(
+        &self,
+        q: &Point,
+        k: usize,
+        metric: &dyn Metric,
+    ) -> IndexResult<(Vec<(u64, f64)>, IoStats)> {
         check_dim(self.dim, q.dim())?;
+        let mut io = IoStats::default();
         if k == 0 || self.len == 0 {
-            return Ok(Vec::new());
+            return Ok((Vec::new(), io));
         }
         let mut pq: BinaryHeap<PqNode> = BinaryHeap::new();
         let mut best: BinaryHeap<HeapHit> = BinaryHeap::new();
@@ -687,15 +716,21 @@ impl<S: Storage> MultidimIndex for HybridTree<S> {
             if best.len() == k && item.dist > best.peek().unwrap().dist {
                 break;
             }
-            match self.read_node(item.pid)? {
+            match self.read_node_tracked(item.pid, &mut io)? {
                 Node::Data(entries) => {
                     for e in entries {
                         let d = metric.distance(q, &e.point);
                         if best.len() < k {
-                            best.push(HeapHit { dist: d, oid: e.oid });
+                            best.push(HeapHit {
+                                dist: d,
+                                oid: e.oid,
+                            });
                         } else if d < best.peek().unwrap().dist {
                             best.pop();
-                            best.push(HeapHit { dist: d, oid: e.oid });
+                            best.push(HeapHit {
+                                dist: d,
+                                oid: e.oid,
+                            });
                         }
                     }
                 }
@@ -733,20 +768,28 @@ impl<S: Storage> MultidimIndex for HybridTree<S> {
         }
         let mut hits: Vec<(u64, f64)> = best.into_iter().map(|h| (h.oid, h.dist)).collect();
         hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-        Ok(hits)
+        Ok((hits, io))
     }
 
     fn io_stats(&self) -> IoStats {
         self.pool.stats()
     }
 
-    fn reset_io_stats(&mut self) {
+    fn reset_io_stats(&self) {
         self.pool.reset_stats();
     }
 
-    fn structure_stats(&mut self) -> IndexResult<StructureStats> {
+    fn structure_stats(&self) -> IndexResult<StructureStats> {
         crate::stats::compute(self)
     }
+}
+
+/// Compile-time proof that a built tree can be shared across query
+/// threads: `&HybridTree<S>` is the read-only search handle.
+#[allow(dead_code)]
+fn _assert_thread_safe<S: Storage>() {
+    fn check<T: Send + Sync>() {}
+    check::<HybridTree<S>>();
 }
 
 #[cfg(test)]
@@ -808,7 +851,10 @@ mod tests {
         t.insert(p.clone(), 7).unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.point_query(&p).unwrap(), vec![7]);
-        assert!(t.point_query(&Point::new(vec![0.5, 0.5])).unwrap().is_empty());
+        assert!(t
+            .point_query(&Point::new(vec![0.5, 0.5]))
+            .unwrap()
+            .is_empty());
         t.check_invariants().unwrap();
     }
 
@@ -835,7 +881,7 @@ mod tests {
     #[test]
     fn splits_grow_tree_and_preserve_entries() {
         let pts = rand_points(500, 2, 1);
-        let mut t = build(&pts, small_cfg());
+        let t = build(&pts, small_cfg());
         assert!(t.height() > 1, "500 points on 256-byte pages must split");
         t.check_invariants().unwrap();
         for (i, p) in pts.iter().enumerate() {
@@ -849,7 +895,7 @@ mod tests {
     #[test]
     fn box_query_matches_brute_force() {
         let pts = rand_points(800, 3, 2);
-        let mut t = build(&pts, small_cfg());
+        let t = build(&pts, small_cfg());
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..40 {
             let lo: Vec<f32> = (0..3).map(|_| rng.gen::<f32>() * 0.8).collect();
@@ -864,7 +910,7 @@ mod tests {
     #[test]
     fn distance_range_matches_brute_force() {
         let pts = rand_points(600, 4, 4);
-        let mut t = build(&pts, small_cfg());
+        let t = build(&pts, small_cfg());
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..25 {
             let q = Point::new((0..4).map(|_| rng.gen::<f32>()).collect());
@@ -887,7 +933,7 @@ mod tests {
     #[test]
     fn knn_matches_brute_force() {
         let pts = rand_points(400, 3, 6);
-        let mut t = build(&pts, small_cfg());
+        let t = build(&pts, small_cfg());
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..25 {
             let q = Point::new((0..3).map(|_| rng.gen::<f32>()).collect());
@@ -913,7 +959,7 @@ mod tests {
     #[test]
     fn knn_with_k_larger_than_n() {
         let pts = rand_points(10, 2, 8);
-        let mut t = build(&pts, small_cfg());
+        let t = build(&pts, small_cfg());
         let got = t.knn(&Point::new(vec![0.5, 0.5]), 50, &L2).unwrap();
         assert_eq!(got.len(), 10);
     }
@@ -1017,7 +1063,7 @@ mod tests {
                 ));
             }
         }
-        let mut t = build(&pts, small_cfg());
+        let t = build(&pts, small_cfg());
         t.check_invariants().unwrap();
         for (i, p) in pts.iter().enumerate().step_by(17) {
             assert!(t.point_query(p).unwrap().contains(&(i as u64)));
@@ -1031,7 +1077,7 @@ mod tests {
             ..small_cfg()
         };
         let pts = rand_points(500, 3, 15);
-        let mut t = build(&pts, cfg);
+        let t = build(&pts, cfg);
         t.check_invariants().unwrap();
         let rect = Rect::new(vec![0.1; 3], vec![0.4; 3]);
         let mut got = t.box_query(&rect).unwrap();
@@ -1049,9 +1095,7 @@ mod tests {
             for _ in 0..100 {
                 let base = c as f32 / 8.0;
                 pts.push(Point::new(
-                    (0..4)
-                        .map(|_| base + rng.gen::<f32>() * 0.02)
-                        .collect(),
+                    (0..4).map(|_| base + rng.gen::<f32>() * 0.02).collect(),
                 ));
             }
         }
@@ -1067,7 +1111,7 @@ mod tests {
                 els_bits: bits,
                 ..small_cfg()
             };
-            let mut t = build(&pts, cfg);
+            let t = build(&pts, cfg);
             t.reset_io_stats();
             for q in &queries {
                 t.box_query(q).unwrap();
@@ -1090,7 +1134,7 @@ mod tests {
                 ..small_cfg()
             };
             let pts = rand_points(400, 3, 17);
-            let mut t = build(&pts, cfg);
+            let t = build(&pts, cfg);
             t.check_invariants().unwrap();
             let rect = Rect::new(vec![0.3; 3], vec![0.6; 3]);
             let mut got = t.box_query(&rect).unwrap();
@@ -1102,7 +1146,7 @@ mod tests {
     #[test]
     fn io_stats_count_queries() {
         let pts = rand_points(500, 2, 18);
-        let mut t = build(&pts, small_cfg());
+        let t = build(&pts, small_cfg());
         t.reset_io_stats();
         assert_eq!(t.io_stats().logical_reads, 0);
         t.box_query(&Rect::new(vec![0.4, 0.4], vec![0.6, 0.6]))
@@ -1120,7 +1164,7 @@ mod tests {
             ..small_cfg()
         };
         let pts = rand_points(500, 2, 19);
-        let mut t = build(&pts, cfg);
+        let t = build(&pts, cfg);
         t.reset_io_stats();
         for _ in 0..3 {
             t.box_query(&Rect::new(vec![0.4, 0.4], vec![0.6, 0.6]))
@@ -1134,7 +1178,7 @@ mod tests {
     #[test]
     fn structure_stats_are_plausible() {
         let pts = rand_points(1000, 4, 20);
-        let mut t = build(&pts, small_cfg());
+        let t = build(&pts, small_cfg());
         let st = t.structure_stats().unwrap();
         assert_eq!(st.height, t.height());
         assert!(st.data_nodes > 1);
@@ -1193,7 +1237,7 @@ mod tests {
     fn weighted_metric_at_query_time() {
         use hyt_geom::WeightedEuclidean;
         let pts = rand_points(300, 4, 23);
-        let mut t = build(&pts, small_cfg());
+        let t = build(&pts, small_cfg());
         let q = Point::new(vec![0.5; 4]);
         // Two different relevance-feedback weightings, same index.
         let m1 = WeightedEuclidean::new(vec![1.0, 1.0, 1.0, 1.0]);

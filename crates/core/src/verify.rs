@@ -18,7 +18,7 @@ use hyt_page::{PageId, Storage};
 /// 6. every serialized node fits in a page;
 /// 7. the number of reachable entries equals `len()`;
 /// 8. no page is referenced twice.
-pub(crate) fn check<S: Storage>(tree: &mut HybridTree<S>) -> IndexResult<()> {
+pub(crate) fn check<S: Storage>(tree: &HybridTree<S>) -> IndexResult<()> {
     let root_region = tree.root_region();
     let expected_level = (tree.height - 1) as u16;
     let mut seen = std::collections::HashSet::new();
@@ -44,7 +44,7 @@ fn err(pid: PageId, msg: String) -> IndexError {
 }
 
 fn check_rec<S: Storage>(
-    tree: &mut HybridTree<S>,
+    tree: &HybridTree<S>,
     pid: PageId,
     region: &Rect,
     expected_level: u16,
@@ -116,8 +116,7 @@ fn check_rec<S: Storage>(
                 // every point beneath the child; checked by verifying all
                 // entries below fall inside it.
                 let eff = tree.els.effective_region(child, &child_region);
-                let count =
-                    check_rec(tree, child, &child_region, expected_level - 1, false, seen)?;
+                let count = check_rec(tree, child, &child_region, expected_level - 1, false, seen)?;
                 check_points_within(tree, child, &eff)?;
                 total += count;
             }
@@ -128,7 +127,7 @@ fn check_rec<S: Storage>(
 
 /// Asserts every data point beneath `pid` lies inside `eff`.
 fn check_points_within<S: Storage>(
-    tree: &mut HybridTree<S>,
+    tree: &HybridTree<S>,
     pid: PageId,
     eff: &Rect,
 ) -> IndexResult<()> {

@@ -245,15 +245,30 @@ mod tests {
             0,
             3.0,
             3.0,
-            KdTree::split(1, 3.0, 2.0, KdTree::leaf(PageId(10)), KdTree::leaf(PageId(11))),
-            KdTree::split(1, 4.0, 4.0, KdTree::leaf(PageId(12)), KdTree::leaf(PageId(13))),
+            KdTree::split(
+                1,
+                3.0,
+                2.0,
+                KdTree::leaf(PageId(10)),
+                KdTree::leaf(PageId(11)),
+            ),
+            KdTree::split(
+                1,
+                4.0,
+                4.0,
+                KdTree::leaf(PageId(12)),
+                KdTree::leaf(PageId(13)),
+            ),
         )
     }
 
     #[test]
     fn view_box_walk_matches_decoded_walk() {
         let kd = paper_kd();
-        let node = Node::Index { level: 1, kd: kd.clone() };
+        let node = Node::Index {
+            level: 1,
+            kd: kd.clone(),
+        };
         let buf = node.encode(2);
         let NodeView::Index(view) = NodeView::parse(&buf, 2).unwrap() else {
             panic!("expected index view");
@@ -265,7 +280,8 @@ mod tests {
             Rect::new(vec![2.9, 3.9], vec![3.1, 4.1]),
         ] {
             let mut from_view = Vec::new();
-            view.children_overlapping_box(&query, &mut from_view).unwrap();
+            view.children_overlapping_box(&query, &mut from_view)
+                .unwrap();
             let mut from_tree = Vec::new();
             kd.children_overlapping_box_ids(&query, &mut from_tree);
             assert_eq!(from_view, from_tree, "query {query:?}");
@@ -275,7 +291,11 @@ mod tests {
     #[test]
     fn view_point_walk_matches_decoded_walk() {
         let kd = paper_kd();
-        let buf = Node::Index { level: 1, kd: kd.clone() }.encode(2);
+        let buf = Node::Index {
+            level: 1,
+            kd: kd.clone(),
+        }
+        .encode(2);
         let NodeView::Index(view) = NodeView::parse(&buf, 2).unwrap() else {
             panic!()
         };

@@ -12,13 +12,7 @@ use proptest::prelude::*;
 fn kd_strategy(dim: u16, depth: u32) -> impl Strategy<Value = KdTree> {
     let leaf = (0u32..1000).prop_map(|p| KdTree::leaf(PageId(p)));
     leaf.prop_recursive(depth, 64, 2, move |inner| {
-        (
-            0..dim,
-            -1.0f32..2.0,
-            -1.0f32..2.0,
-            inner.clone(),
-            inner,
-        )
+        (0..dim, -1.0f32..2.0, -1.0f32..2.0, inner.clone(), inner)
             .prop_map(|(d, lsp, rsp, l, r)| KdTree::split(d, lsp, rsp, l, r))
     })
 }

@@ -1,0 +1,288 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `black_box`, and the `criterion_group!`
+//! / `criterion_main!` macros — backed by a simple
+//! warmup-then-measure wall-clock loop instead of criterion's full
+//! statistical machinery. Reported numbers are medians over fixed-size
+//! batches; good enough to compare alternatives run back to back in one
+//! process (e.g. serial vs parallel batch runners), which is how this
+//! repo uses micro-benchmarks.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: a function name plus an
+/// input parameter rendered into the label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("op", 64)` → label `op/64`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// A label with no parameter part.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handed to bench closures.
+pub struct Bencher<'m> {
+    measurement: &'m mut Measurement,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, subtracting nothing (criterion's `iter`).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: let caches/allocators settle and estimate cost.
+        let warmup_started = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_started.elapsed() < self.measurement.warmup {
+            black_box(routine());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = self.measurement.warmup.as_nanos() as u64 / warmup_iters.max(1);
+        // Aim each sample at ~1/20th of the measurement budget.
+        let budget = self.measurement.measure.as_nanos() as u64;
+        let samples = self.measurement.samples.max(2) as u64;
+        let iters_per_sample = (budget / samples / per_iter.max(1)).clamp(1, 1_000_000);
+        let mut sample_ns: Vec<f64> = Vec::with_capacity(samples as usize);
+        for _ in 0..samples {
+            let started = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            sample_ns.push(started.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        sample_ns.sort_by(f64::total_cmp);
+        self.measurement.median_ns = sample_ns[sample_ns.len() / 2];
+        self.measurement.total_iters = warmup_iters + samples * iters_per_sample;
+    }
+}
+
+struct Measurement {
+    warmup: Duration,
+    measure: Duration,
+    samples: usize,
+    median_ns: f64,
+    total_iters: u64,
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the per-iteration workload for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measurement time hint; accepted for API compatibility.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measure = d;
+        self
+    }
+
+    /// Benches a closure under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        let (median, iters) = self.criterion.run_one(self.sample_size, |b| f(b, input));
+        report(&label, median, iters, self.throughput);
+        self
+    }
+
+    /// Benches a closure under a plain name.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = format!("{}/{name}", self.name);
+        let (median, iters) = self.criterion.run_one(self.sample_size, |b| f(b));
+        report(&label, median, iters, self.throughput);
+        self
+    }
+
+    /// Ends the group (criterion requires this; here it is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+fn report(label: &str, median_ns: f64, iters: u64, throughput: Option<Throughput>) {
+    let time = human_time(median_ns);
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 / (median_ns * 1e-9);
+            println!("{label:<48} {time:>12}/iter  {per_sec:>14.0} elem/s  ({iters} iters)");
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 / (median_ns * 1e-9) / (1024.0 * 1024.0);
+            println!("{label:<48} {time:>12}/iter  {per_sec:>11.1} MiB/s  ({iters} iters)");
+        }
+        None => println!("{label:<48} {time:>12}/iter  ({iters} iters)"),
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Budgets are much smaller than real criterion's: offline CI runs
+        // every bench target, so keep each measurement brief. Override
+        // with HYT_BENCH_MS=<millis> for steadier numbers.
+        let ms = std::env::var("HYT_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(300);
+        Self {
+            warmup: Duration::from_millis(ms / 3),
+            measure: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Benches a standalone closure (no group).
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let (median, iters) = self.run_one(20, |b| f(b));
+        report(&name.to_string(), median, iters, None);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher<'_>)>(&mut self, samples: usize, mut f: F) -> (f64, u64) {
+        let mut m = Measurement {
+            warmup: self.warmup,
+            measure: self.measure,
+            samples,
+            median_ns: 0.0,
+            total_iters: 0,
+        };
+        f(&mut Bencher {
+            measurement: &mut m,
+        });
+        (m.median_ns, m.total_iters)
+    }
+
+    /// Parses command-line arguments; accepted for API compatibility
+    /// (`cargo bench` passes `--bench`), ignored beyond that.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        std::env::set_var("HYT_BENCH_MS", "30");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(5);
+        let mut ran = false;
+        g.bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("op", 64).label, "op/64");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+}

@@ -31,7 +31,7 @@ mod workload;
 pub use colhist::colhist;
 pub use fourier::fourier;
 pub use workload::{
-    calibrate_box_side, calibrate_radius, uniform, clustered, BoxWorkload, DistanceWorkload,
+    calibrate_box_side, calibrate_radius, clustered, uniform, BoxWorkload, DistanceWorkload,
     Workload,
 };
 
@@ -105,10 +105,7 @@ mod tests {
 
     #[test]
     fn common_scale_preserves_relative_extents() {
-        let mut pts = vec![
-            Point::new(vec![0.0, 0.0]),
-            Point::new(vec![10.0, 1.0]),
-        ];
+        let mut pts = vec![Point::new(vec![0.0, 0.0]), Point::new(vec![10.0, 1.0])];
         normalize_common_scale(&mut pts);
         // Dim 0 spans [0,1]; dim 1 spans only a tenth of it.
         assert_eq!(pts[1].coord(0), 1.0);

@@ -43,8 +43,7 @@ pub fn clustered(n: usize, dim: usize, clusters: usize, sigma: f32, seed: u64) -
                         // Box-Muller normal sample.
                         let u1: f32 = rng.gen::<f32>().max(1e-7);
                         let u2: f32 = rng.gen();
-                        let z = (-2.0 * u1.ln()).sqrt()
-                            * (std::f32::consts::TAU * u2).cos();
+                        let z = (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
                         (c[d] + z * sigma).clamp(0.0, 1.0)
                     })
                     .collect(),
@@ -316,7 +315,10 @@ mod tests {
         let wl = DistanceWorkload::calibrated(&data, 40, 0.01, &L1, 6);
         let mut total = 0usize;
         for c in &wl.centers {
-            total += data.iter().filter(|p| L1.distance(c, p) <= wl.radius).count();
+            total += data
+                .iter()
+                .filter(|p| L1.distance(c, p) <= wl.radius)
+                .count();
         }
         let sel = total as f64 / (data.len() * wl.centers.len()) as f64;
         assert!(

@@ -71,8 +71,10 @@ pub fn fig5ab(scale: &Scale) -> IndexResult<FigureReport> {
     );
     for dim in COLHIST_DIMS {
         let (data, wl) = colhist_workload(scale, dim, scale.colhist_n);
-        for (label, engine) in [("eda-optimal", Engine::Hybrid), ("vam-split", Engine::HybridVam)]
-        {
+        for (label, engine) in [
+            ("eda-optimal", Engine::Hybrid),
+            ("vam-split", Engine::HybridVam),
+        ] {
             let (mut idx, _) = build_engine(engine, &data)?;
             let cost = run_box_queries(idx.as_mut(), &wl.queries)?;
             rep.row(vec![
@@ -84,7 +86,9 @@ pub fn fig5ab(scale: &Scale) -> IndexResult<FigureReport> {
             ]);
         }
     }
-    rep.note("paper shape: EDA-optimal below VAMSplit at every dimensionality, gap widening with dim");
+    rep.note(
+        "paper shape: EDA-optimal below VAMSplit at every dimensionality, gap widening with dim",
+    );
     Ok(rep)
 }
 
@@ -136,7 +140,11 @@ pub fn fig6ab(scale: &Scale) -> IndexResult<FigureReport> {
             Scale::FOURIER_SELECTIVITY,
             scale.seed ^ 0xf00,
         );
-        let rows = compare_box(&[Engine::Hybrid, Engine::Hb, Engine::Sr], &data, &wl.queries)?;
+        let rows = compare_box(
+            &[Engine::Hybrid, Engine::Hb, Engine::Sr],
+            &data,
+            &wl.queries,
+        )?;
         push_rows(&mut rep, &format!("{dim}-d"), &rows);
     }
     rep.note("paper shape: hybrid < hB < 0.1 (scan) < SR in I/O at higher dims; hybrid lowest CPU");
@@ -160,7 +168,9 @@ pub fn fig6cd(scale: &Scale) -> IndexResult<FigureReport> {
         push_rows(&mut rep, &format!("{dim}-d"), &rows);
     }
     rep.note("paper shape: hybrid wins at all dims; SR-tree degrades fastest with dimensionality");
-    rep.note("hybrid-bulk isolates the structure from insertion-order effects (see EXPERIMENTS.md)");
+    rep.note(
+        "hybrid-bulk isolates the structure from insertion-order effects (see EXPERIMENTS.md)",
+    );
     Ok(rep)
 }
 
@@ -173,7 +183,11 @@ pub fn fig7ab(scale: &Scale) -> IndexResult<FigureReport> {
     );
     for n in scale.size_sweep {
         let (data, wl) = colhist_workload(scale, 64, n);
-        let rows = compare_box(&[Engine::Hybrid, Engine::Hb, Engine::Sr], &data, &wl.queries)?;
+        let rows = compare_box(
+            &[Engine::Hybrid, Engine::Hb, Engine::Sr],
+            &data,
+            &wl.queries,
+        )?;
         push_rows(&mut rep, &format!("n={n}"), &rows);
     }
     rep.note("paper shape: hybrid an order of magnitude below others; its normalized cost falls as n grows (sublinear absolute cost)");
@@ -228,7 +242,7 @@ pub fn table1(scale: &Scale) -> IndexResult<FigureReport> {
     );
     let data = colhist(scale.colhist_n, 64, scale.seed + 64);
     for engine in [Engine::Hybrid, Engine::Kdb, Engine::Hb, Engine::Sr] {
-        let (mut idx, _) = build_engine(engine, &data)?;
+        let (idx, _) = build_engine(engine, &data)?;
         let st = idx.structure_stats()?;
         rep.row(vec![
             engine.name(),
@@ -307,9 +321,19 @@ pub fn knn_comparison(scale: &Scale) -> IndexResult<FigureReport> {
     );
     for dim in [16usize, 64] {
         let data = colhist(scale.colhist_n, dim, scale.seed + dim as u64);
-        let queries: Vec<Point> = data.iter().step_by(data.len() / scale.queries).cloned().collect();
-        for engine in [Engine::Hybrid, Engine::HybridBulk, Engine::Sr, Engine::Kdb, Engine::Scan] {
-            let (mut idx, _) = build_engine(engine, &data)?;
+        let queries: Vec<Point> = data
+            .iter()
+            .step_by(data.len() / scale.queries)
+            .cloned()
+            .collect();
+        for engine in [
+            Engine::Hybrid,
+            Engine::HybridBulk,
+            Engine::Sr,
+            Engine::Kdb,
+            Engine::Scan,
+        ] {
+            let (idx, _) = build_engine(engine, &data)?;
             idx.reset_io_stats();
             let start = Instant::now();
             for q in &queries {
@@ -345,7 +369,7 @@ pub fn build_costs(scale: &Scale) -> IndexResult<FigureReport> {
         Engine::Kdb,
         Engine::Scan,
     ] {
-        let (mut idx, build) = build_engine(engine, &data)?;
+        let (idx, build) = build_engine(engine, &data)?;
         let st = idx.structure_stats()?;
         rep.row(vec![
             engine.name(),

@@ -25,7 +25,7 @@ mod scale;
 
 pub use report::FigureReport;
 pub use runner::{
-    build_engine, compare_box, compare_distance, run_box_queries, run_distance_queries,
-    CompareRow, Engine, QueryCost,
+    build_engine, compare_box, compare_distance, run_batch, run_batch_parallel, run_box_queries,
+    run_distance_queries, total_io, BatchAnswer, BatchQuery, CompareRow, Engine, QueryCost,
 };
 pub use scale::Scale;

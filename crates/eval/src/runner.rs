@@ -5,6 +5,7 @@ use hyt_geom::{Metric, Point, Rect};
 use hyt_hbtree::{HbTree, HbTreeConfig};
 use hyt_index::{IndexResult, MultidimIndex};
 use hyt_kdbtree::{KdbTree, KdbTreeConfig};
+use hyt_page::IoStats;
 use hyt_scan::SeqScan;
 use hyt_srtree::{SrTree, SrTreeConfig};
 use std::time::{Duration, Instant};
@@ -107,10 +108,7 @@ pub struct QueryCost {
 }
 
 /// Runs box queries, returning per-query averages.
-pub fn run_box_queries(
-    idx: &mut dyn MultidimIndex,
-    queries: &[Rect],
-) -> IndexResult<QueryCost> {
+pub fn run_box_queries(idx: &mut dyn MultidimIndex, queries: &[Rect]) -> IndexResult<QueryCost> {
     idx.reset_io_stats();
     let mut results = 0usize;
     let start = Instant::now();
@@ -235,6 +233,129 @@ where
         .collect())
 }
 
+// ---------------------------------------------------------------------
+// Batch runner: the same mixed workload executed serially or across a
+// worker pool. Queries only need `&dyn MultidimIndex`, so the workers
+// share one index (and one buffer pool) without any cloning; per-query
+// I/O comes from the `*_counted` trait methods and is therefore
+// identical however the batch is scheduled.
+// ---------------------------------------------------------------------
+
+/// One query of a mixed batch workload.
+#[derive(Clone, Debug)]
+pub enum BatchQuery {
+    /// Bounding-box (window) query.
+    Box(Rect),
+    /// Distance-range query: center and radius.
+    Distance(Point, f64),
+    /// k-nearest-neighbor query: center and k.
+    Knn(Point, usize),
+}
+
+/// One query's answer plus the I/O attributed to it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchAnswer {
+    /// Result oids. Box and distance answers are sorted ascending (the
+    /// trait leaves their order unspecified, and a canonical order makes
+    /// serial and parallel runs bit-comparable); kNN answers keep their
+    /// ascending-distance order.
+    pub oids: Vec<u64>,
+    /// kNN distances, parallel to `oids`; empty for other query kinds.
+    pub distances: Vec<f64>,
+    /// I/O incurred by this one query.
+    pub io: IoStats,
+}
+
+fn run_one(
+    idx: &dyn MultidimIndex,
+    metric: &dyn Metric,
+    q: &BatchQuery,
+) -> IndexResult<BatchAnswer> {
+    match q {
+        BatchQuery::Box(rect) => {
+            let (mut oids, io) = idx.box_query_counted(rect)?;
+            oids.sort_unstable();
+            Ok(BatchAnswer {
+                oids,
+                distances: Vec::new(),
+                io,
+            })
+        }
+        BatchQuery::Distance(center, radius) => {
+            let (mut oids, io) = idx.distance_range_counted(center, *radius, metric)?;
+            oids.sort_unstable();
+            Ok(BatchAnswer {
+                oids,
+                distances: Vec::new(),
+                io,
+            })
+        }
+        BatchQuery::Knn(center, k) => {
+            let (hits, io) = idx.knn_counted(center, *k, metric)?;
+            let (oids, distances) = hits.into_iter().unzip();
+            Ok(BatchAnswer {
+                oids,
+                distances,
+                io,
+            })
+        }
+    }
+}
+
+/// Runs a batch serially, returning one answer per query in order.
+pub fn run_batch(
+    idx: &dyn MultidimIndex,
+    metric: &dyn Metric,
+    queries: &[BatchQuery],
+) -> IndexResult<Vec<BatchAnswer>> {
+    queries.iter().map(|q| run_one(idx, metric, q)).collect()
+}
+
+/// Runs a batch across `threads` workers over one shared index.
+///
+/// The batch is split into contiguous chunks, one per worker, and the
+/// answers are stitched back in submission order — so the output is
+/// exactly [`run_batch`]'s, including each answer's `io`, only the
+/// wall-clock time differs. Errors from any worker surface after all
+/// workers finish (the first, in submission order, wins).
+pub fn run_batch_parallel(
+    idx: &dyn MultidimIndex,
+    metric: &dyn Metric,
+    queries: &[BatchQuery],
+    threads: usize,
+) -> IndexResult<Vec<BatchAnswer>> {
+    let threads = threads.max(1);
+    if threads == 1 || queries.len() < 2 {
+        return run_batch(idx, metric, queries);
+    }
+    let chunk = queries.len().div_ceil(threads);
+    let per_chunk: Vec<IndexResult<Vec<BatchAnswer>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = queries
+            .chunks(chunk)
+            .map(|c| s.spawn(move || c.iter().map(|q| run_one(idx, metric, q)).collect()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("batch worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(queries.len());
+    for chunk_answers in per_chunk {
+        out.extend(chunk_answers?);
+    }
+    Ok(out)
+}
+
+/// Sums the per-query I/O of a batch (e.g. to compare scheduling modes:
+/// `logical_reads`/`seq_reads` totals are schedule-independent).
+pub fn total_io(answers: &[BatchAnswer]) -> IoStats {
+    let mut total = IoStats::default();
+    for a in answers {
+        total.merge(&a.io);
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,7 +376,7 @@ mod tests {
             Engine::Kdb,
             Engine::Scan,
         ] {
-            let (mut idx, _) = build_engine(e, &data).unwrap();
+            let (idx, _) = build_engine(e, &data).unwrap();
             assert_eq!(idx.len(), data.len());
             let mut answers = Vec::new();
             for q in &wl.queries {
@@ -287,13 +408,82 @@ mod tests {
         assert!(hybrid.avg_results > 0.0);
     }
 
+    fn mixed_batch(data: &[Point], n: usize) -> Vec<BatchQuery> {
+        let wl = BoxWorkload::calibrated(data, n, 0.02, 7);
+        wl.queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| match i % 3 {
+                0 => BatchQuery::Box(q.clone()),
+                1 => BatchQuery::Distance(data[i].clone(), 0.4),
+                _ => BatchQuery::Knn(data[i].clone(), 5),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial_bit_for_bit() {
+        let data = uniform(3000, 4, 11);
+        let (idx, _) = build_engine(Engine::Hybrid, &data).unwrap();
+        let batch = mixed_batch(&data, 30);
+        let serial = run_batch(idx.as_ref(), &L1, &batch).unwrap();
+        for threads in [2, 4, 7] {
+            let parallel = run_batch_parallel(idx.as_ref(), &L1, &batch, threads).unwrap();
+            assert_eq!(serial.len(), parallel.len());
+            for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+                assert_eq!(
+                    s.oids, p.oids,
+                    "query {i} answers differ at {threads} threads"
+                );
+                assert_eq!(s.distances, p.distances, "query {i} distances differ");
+                assert_eq!(
+                    s.io.logical_reads, p.io.logical_reads,
+                    "query {i} logical reads differ at {threads} threads"
+                );
+                assert_eq!(s.io.seq_reads, p.io.seq_reads);
+            }
+            let st = total_io(&serial);
+            let pt = total_io(&parallel);
+            assert_eq!(st.logical_reads, pt.logical_reads);
+            assert_eq!(st.seq_reads, pt.seq_reads);
+        }
+    }
+
+    #[test]
+    fn batch_runner_covers_all_engines() {
+        let data = uniform(800, 3, 13);
+        for e in [Engine::Hybrid, Engine::Sr, Engine::Kdb, Engine::Scan] {
+            let (idx, _) = build_engine(e, &data).unwrap();
+            let batch = mixed_batch(&data, 9);
+            let serial = run_batch(idx.as_ref(), &L1, &batch).unwrap();
+            let parallel = run_batch_parallel(idx.as_ref(), &L1, &batch, 3).unwrap();
+            assert_eq!(serial, parallel, "{} batch differs", e.name());
+        }
+    }
+
+    #[test]
+    fn batch_errors_surface_from_workers() {
+        let data = uniform(400, 3, 17);
+        // hB-tree rejects distance queries; the error must propagate out
+        // of the worker pool, not panic it.
+        let (idx, _) = build_engine(Engine::Hb, &data).unwrap();
+        let batch = vec![BatchQuery::Distance(data[0].clone(), 0.3); 6];
+        let err = run_batch_parallel(idx.as_ref(), &L1, &batch, 3).unwrap_err();
+        assert!(matches!(err, hyt_index::IndexError::Unsupported(_)));
+    }
+
     #[test]
     fn distance_compare_skips_hb() {
         let data = uniform(800, 3, 5);
         let centers: Vec<_> = data[..5].to_vec();
-        let rows =
-            compare_distance(&[Engine::Hybrid, Engine::Hb, Engine::Sr], &data, &centers, 0.3, &L1)
-                .unwrap();
+        let rows = compare_distance(
+            &[Engine::Hybrid, Engine::Hb, Engine::Sr],
+            &data,
+            &centers,
+            0.3,
+            &L1,
+        )
+        .unwrap();
         assert!(rows.iter().any(|r| r.engine == "hybrid"));
         assert!(rows.iter().any(|r| r.engine == "sr-tree"));
         assert!(

@@ -22,7 +22,11 @@ use crate::{Point, Rect};
 /// tests in this module check the bound for the bundled metrics; custom
 /// metrics should be tested the same way (a violated bound causes false
 /// dismissals, i.e. silently incomplete query results).
-pub trait Metric {
+///
+/// Metrics are `Sync` so one metric can serve concurrent queries (they
+/// are consulted from many threads by the parallel batch runner); all
+/// bundled metrics are immutable value types.
+pub trait Metric: Sync {
     /// Distance between two points of equal dimensionality.
     fn distance(&self, a: &Point, b: &Point) -> f64;
 

@@ -470,7 +470,7 @@ impl<S: Storage> HbTree<S> {
                 cfg.page_size
             )));
         }
-        let mut pool = BufferPool::new(storage, cfg.pool_pages);
+        let pool = BufferPool::new(storage, cfg.pool_pages);
         let root = pool.allocate()?;
         pool.write(
             root,
@@ -502,8 +502,13 @@ impl<S: Storage> HbTree<S> {
         self.posts_dropped
     }
 
-    fn read_node(&mut self, pid: PageId) -> IndexResult<HbNode> {
+    fn read_node(&self, pid: PageId) -> IndexResult<HbNode> {
         let buf = self.pool.read(pid)?;
+        Ok(HbNode::decode(&buf, self.dim)?)
+    }
+
+    fn read_node_tracked(&self, pid: PageId, io: &mut IoStats) -> IndexResult<HbNode> {
+        let buf = self.pool.read_tracked(pid, io)?;
         Ok(HbNode::decode(&buf, self.dim)?)
     }
 
@@ -784,7 +789,13 @@ impl<S: Storage> HbTree<S> {
 
     /// Full traversal helper: every page overlapping `query`, visited
     /// once (children, sibling redirects, and data redirects included).
-    fn for_each_overlapping<F>(&mut self, query: &Rect, mut visit: F) -> IndexResult<()>
+    /// Page reads are attributed to `io`.
+    fn for_each_overlapping<F>(
+        &self,
+        query: &Rect,
+        io: &mut IoStats,
+        mut visit: F,
+    ) -> IndexResult<()>
     where
         F: FnMut(&[(Point, u64)]) -> bool,
     {
@@ -797,7 +808,7 @@ impl<S: Storage> HbTree<S> {
             if !visited.insert(pid) {
                 continue;
             }
-            match self.read_node(pid)? {
+            match self.read_node_tracked(pid, io)? {
                 HbNode::Data { entries, redirects } => {
                     if visit(&entries) {
                         return Ok(());
@@ -879,8 +890,7 @@ impl<S: Storage> MultidimIndex for HbTree<S> {
             let level = self.height as u16;
             let mut next_posts = Vec::new();
             while 3 + kd.encoded_size() > self.cfg.page_size {
-                let (path, extracted) =
-                    Self::extract_index_corner(&mut kd, self.cfg.page_size - 3);
+                let (path, extracted) = Self::extract_index_corner(&mut kd, self.cfg.page_size - 3);
                 if path.is_empty() {
                     return Err(IndexError::Internal(
                         "root corner extraction produced no constraints".into(),
@@ -953,10 +963,11 @@ impl<S: Storage> MultidimIndex for HbTree<S> {
         Ok(false)
     }
 
-    fn box_query(&mut self, rect: &Rect) -> IndexResult<Vec<u64>> {
+    fn box_query_counted(&self, rect: &Rect) -> IndexResult<(Vec<u64>, IoStats)> {
         check_dim(self.dim, rect.dim())?;
         let mut out = Vec::new();
-        self.for_each_overlapping(rect, |entries| {
+        let mut io = IoStats::default();
+        self.for_each_overlapping(rect, &mut io, |entries| {
             out.extend(
                 entries
                     .iter()
@@ -965,15 +976,15 @@ impl<S: Storage> MultidimIndex for HbTree<S> {
             );
             false
         })?;
-        Ok(out)
+        Ok((out, io))
     }
 
-    fn distance_range(
-        &mut self,
+    fn distance_range_counted(
+        &self,
         _q: &Point,
         _radius: f64,
         _metric: &dyn Metric,
-    ) -> IndexResult<Vec<u64>> {
+    ) -> IndexResult<(Vec<u64>, IoStats)> {
         // Paper §4, footnote 2: the hB-tree is excluded from the
         // distance-query experiments because it does not support them.
         Err(IndexError::Unsupported(
@@ -981,7 +992,12 @@ impl<S: Storage> MultidimIndex for HbTree<S> {
         ))
     }
 
-    fn knn(&mut self, _q: &Point, _k: usize, _metric: &dyn Metric) -> IndexResult<Vec<(u64, f64)>> {
+    fn knn_counted(
+        &self,
+        _q: &Point,
+        _k: usize,
+        _metric: &dyn Metric,
+    ) -> IndexResult<(Vec<(u64, f64)>, IoStats)> {
         Err(IndexError::Unsupported(
             "hB-tree does not support distance-based search (paper §4)",
         ))
@@ -991,11 +1007,11 @@ impl<S: Storage> MultidimIndex for HbTree<S> {
         self.pool.stats()
     }
 
-    fn reset_io_stats(&mut self) {
+    fn reset_io_stats(&self) {
         self.pool.reset_stats();
     }
 
-    fn structure_stats(&mut self) -> IndexResult<StructureStats> {
+    fn structure_stats(&self) -> IndexResult<StructureStats> {
         let mut st = StructureStats {
             height: self.height,
             ..StructureStats::default()
@@ -1127,7 +1143,7 @@ mod tests {
     #[test]
     fn box_query_matches_brute_force() {
         let pts = points(700, 3, 1);
-        let mut t = build(&pts);
+        let t = build(&pts);
         assert!(t.height() > 1);
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..30 {
@@ -1143,7 +1159,7 @@ mod tests {
     #[test]
     fn every_point_reachable_after_holey_splits() {
         let pts = points(1200, 4, 3);
-        let mut t = build(&pts);
+        let t = build(&pts);
         for (i, p) in pts.iter().enumerate().step_by(13) {
             let hits = t.box_query(&Rect::from_point(p)).unwrap();
             assert!(
@@ -1165,7 +1181,7 @@ mod tests {
                 ));
             }
         }
-        let mut t = build(&pts);
+        let t = build(&pts);
         let rect = Rect::new(vec![0.0; 3], vec![0.5; 3]);
         let mut got = t.box_query(&rect).unwrap();
         got.sort_unstable();
@@ -1175,7 +1191,7 @@ mod tests {
     #[test]
     fn distance_queries_are_unsupported() {
         let pts = points(50, 2, 5);
-        let mut t = build(&pts);
+        let t = build(&pts);
         let q = Point::new(vec![0.5, 0.5]);
         assert!(matches!(
             t.distance_range(&q, 0.5, &hyt_geom::L1),
@@ -1203,7 +1219,7 @@ mod tests {
     #[test]
     fn path_posting_redundancy_is_measured() {
         let pts = points(1500, 3, 7);
-        let mut t = build(&pts);
+        let t = build(&pts);
         let st = t.structure_stats().unwrap();
         assert!(st.index_nodes >= 1);
         assert!(

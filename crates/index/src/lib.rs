@@ -96,7 +96,21 @@ pub struct StructureStats {
 ///
 /// Duplicate points (even duplicate `(point, oid)` pairs) are permitted;
 /// queries return one oid per stored entry, in unspecified order.
-pub trait MultidimIndex {
+///
+/// # Concurrency
+///
+/// Queries take `&self`: a built index can be shared across threads
+/// (hence the `Send + Sync` supertraits) and searched concurrently —
+/// mutation (`insert`/`delete`) still requires exclusive access, which
+/// the borrow checker enforces. The `*_counted` variants additionally
+/// return the [`IoStats`] incurred by that one query, attributed to the
+/// caller even when many queries share the underlying buffer pool; the
+/// plain variants are convenience wrappers that discard the per-query
+/// counters (the pool-global counters behind [`io_stats`](Self::io_stats)
+/// always advance either way). A query's `logical_reads`/`seq_reads`
+/// depend only on its own traversal, so they are identical whether the
+/// batch runs serially or in parallel.
+pub trait MultidimIndex: Send + Sync {
     /// Short name used in reports ("hybrid", "sr-tree", ...).
     fn name(&self) -> &'static str;
 
@@ -120,29 +134,50 @@ pub trait MultidimIndex {
 
     /// Bounding-box (window) query: all oids whose points lie inside the
     /// closed rectangle.
-    fn box_query(&mut self, rect: &Rect) -> IndexResult<Vec<u64>>;
+    fn box_query(&self, rect: &Rect) -> IndexResult<Vec<u64>> {
+        Ok(self.box_query_counted(rect)?.0)
+    }
+
+    /// [`box_query`](Self::box_query) plus the I/O this query incurred.
+    fn box_query_counted(&self, rect: &Rect) -> IndexResult<(Vec<u64>, IoStats)>;
 
     /// Distance range query under an arbitrary metric: all oids within
     /// `radius` of `q`.
-    fn distance_range(
-        &mut self,
+    fn distance_range(&self, q: &Point, radius: f64, metric: &dyn Metric) -> IndexResult<Vec<u64>> {
+        Ok(self.distance_range_counted(q, radius, metric)?.0)
+    }
+
+    /// [`distance_range`](Self::distance_range) plus the I/O this query
+    /// incurred.
+    fn distance_range_counted(
+        &self,
         q: &Point,
         radius: f64,
         metric: &dyn Metric,
-    ) -> IndexResult<Vec<u64>>;
+    ) -> IndexResult<(Vec<u64>, IoStats)>;
 
     /// k-nearest-neighbor query; returns `(oid, distance)` sorted by
     /// ascending distance (ties broken arbitrarily).
-    fn knn(&mut self, q: &Point, k: usize, metric: &dyn Metric) -> IndexResult<Vec<(u64, f64)>>;
+    fn knn(&self, q: &Point, k: usize, metric: &dyn Metric) -> IndexResult<Vec<(u64, f64)>> {
+        Ok(self.knn_counted(q, k, metric)?.0)
+    }
 
-    /// I/O counters accumulated since the last reset.
+    /// [`knn`](Self::knn) plus the I/O this query incurred.
+    fn knn_counted(
+        &self,
+        q: &Point,
+        k: usize,
+        metric: &dyn Metric,
+    ) -> IndexResult<(Vec<(u64, f64)>, IoStats)>;
+
+    /// Pool-global I/O counters accumulated since the last reset.
     fn io_stats(&self) -> IoStats;
 
-    /// Resets the I/O counters.
-    fn reset_io_stats(&mut self);
+    /// Resets the pool-global I/O counters.
+    fn reset_io_stats(&self);
 
     /// Structural statistics of the current tree.
-    fn structure_stats(&mut self) -> IndexResult<StructureStats>;
+    fn structure_stats(&self) -> IndexResult<StructureStats>;
 }
 
 /// Checks an argument's dimensionality against the index's.

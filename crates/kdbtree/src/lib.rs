@@ -311,7 +311,9 @@ impl<S: Storage> KdbTree<S> {
     /// Creates an empty kDB-tree over the given page store.
     pub fn with_storage(dim: usize, cfg: KdbTreeConfig, storage: S) -> IndexResult<Self> {
         if storage.page_size() != cfg.page_size {
-            return Err(IndexError::Internal("storage/config page size mismatch".into()));
+            return Err(IndexError::Internal(
+                "storage/config page size mismatch".into(),
+            ));
         }
         let data_cap = (cfg.page_size - 5) / (4 * dim + 8);
         if data_cap < 2 {
@@ -320,7 +322,7 @@ impl<S: Storage> KdbTree<S> {
                 cfg.page_size
             )));
         }
-        let mut pool = BufferPool::new(storage, cfg.pool_pages);
+        let pool = BufferPool::new(storage, cfg.pool_pages);
         let root = pool.allocate()?;
         pool.write(root, &KdbNode::Data(Vec::new()).encode(dim))?;
         Ok(Self {
@@ -346,8 +348,13 @@ impl<S: Storage> KdbTree<S> {
         self.split_stats
     }
 
-    fn read_node(&mut self, pid: PageId) -> IndexResult<KdbNode> {
+    fn read_node(&self, pid: PageId) -> IndexResult<KdbNode> {
         let buf = self.pool.read(pid)?;
+        Ok(KdbNode::decode(&buf, self.dim)?)
+    }
+
+    fn read_node_tracked(&self, pid: PageId, io: &mut IoStats) -> IndexResult<KdbNode> {
+        let buf = self.pool.read_tracked(pid, io)?;
         Ok(KdbNode::decode(&buf, self.dim)?)
     }
 
@@ -487,7 +494,8 @@ impl<S: Storage> KdbTree<S> {
                     }
                 } else {
                     let kd_us = kdim as usize;
-                    let (ll, lr) = self.cut_kd(*left, dim, pos, &region.clamp_above(kd_us, kpos))?;
+                    let (ll, lr) =
+                        self.cut_kd(*left, dim, pos, &region.clamp_above(kd_us, kpos))?;
                     let (rl, rr) =
                         self.cut_kd(*right, dim, pos, &region.clamp_below(kd_us, kpos))?;
                     let combine = |a: Option<Kd>, b: Option<Kd>| -> Option<Kd> {
@@ -694,7 +702,10 @@ impl PartialOrd for PqNode {
 }
 impl Ord for PqNode {
     fn cmp(&self, other: &Self) -> Ordering {
-        other.dist.total_cmp(&self.dist).then(other.pid.cmp(&self.pid))
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then(other.pid.cmp(&self.pid))
     }
 }
 
@@ -775,15 +786,16 @@ impl<S: Storage> MultidimIndex for KdbTree<S> {
         Ok(false)
     }
 
-    fn box_query(&mut self, rect: &Rect) -> IndexResult<Vec<u64>> {
+    fn box_query_counted(&self, rect: &Rect) -> IndexResult<(Vec<u64>, IoStats)> {
         check_dim(self.dim, rect.dim())?;
+        let mut io = IoStats::default();
         if self.len == 0 {
-            return Ok(Vec::new());
+            return Ok((Vec::new(), io));
         }
         let mut out = Vec::new();
         let mut stack = vec![(self.root, self.root_region())];
         while let Some((pid, region)) = stack.pop() {
-            match self.read_node(pid)? {
+            match self.read_node_tracked(pid, &mut io)? {
                 KdbNode::Data(entries) => out.extend(
                     entries
                         .iter()
@@ -801,23 +813,24 @@ impl<S: Storage> MultidimIndex for KdbTree<S> {
                 }
             }
         }
-        Ok(out)
+        Ok((out, io))
     }
 
-    fn distance_range(
-        &mut self,
+    fn distance_range_counted(
+        &self,
         q: &Point,
         radius: f64,
         metric: &dyn Metric,
-    ) -> IndexResult<Vec<u64>> {
+    ) -> IndexResult<(Vec<u64>, IoStats)> {
         check_dim(self.dim, q.dim())?;
+        let mut io = IoStats::default();
         if self.len == 0 {
-            return Ok(Vec::new());
+            return Ok((Vec::new(), io));
         }
         let mut out = Vec::new();
         let mut stack = vec![(self.root, self.root_region())];
         while let Some((pid, region)) = stack.pop() {
-            match self.read_node(pid)? {
+            match self.read_node_tracked(pid, &mut io)? {
                 KdbNode::Data(entries) => out.extend(
                     entries
                         .iter()
@@ -835,13 +848,19 @@ impl<S: Storage> MultidimIndex for KdbTree<S> {
                 }
             }
         }
-        Ok(out)
+        Ok((out, io))
     }
 
-    fn knn(&mut self, q: &Point, k: usize, metric: &dyn Metric) -> IndexResult<Vec<(u64, f64)>> {
+    fn knn_counted(
+        &self,
+        q: &Point,
+        k: usize,
+        metric: &dyn Metric,
+    ) -> IndexResult<(Vec<(u64, f64)>, IoStats)> {
         check_dim(self.dim, q.dim())?;
+        let mut io = IoStats::default();
         if k == 0 || self.len == 0 {
-            return Ok(Vec::new());
+            return Ok((Vec::new(), io));
         }
         let mut pq = BinaryHeap::new();
         // (dist, oid) results kept in a simple sorted vec (k is small).
@@ -855,7 +874,7 @@ impl<S: Storage> MultidimIndex for KdbTree<S> {
             if best.len() == k && item.dist > best.last().unwrap().1 {
                 break;
             }
-            match self.read_node(item.pid)? {
+            match self.read_node_tracked(item.pid, &mut io)? {
                 KdbNode::Data(entries) => {
                     for (p, oid) in entries {
                         let d = metric.distance(q, &p);
@@ -885,18 +904,18 @@ impl<S: Storage> MultidimIndex for KdbTree<S> {
                 }
             }
         }
-        Ok(best)
+        Ok((best, io))
     }
 
     fn io_stats(&self) -> IoStats {
         self.pool.stats()
     }
 
-    fn reset_io_stats(&mut self) {
+    fn reset_io_stats(&self) {
         self.pool.reset_stats();
     }
 
-    fn structure_stats(&mut self) -> IndexResult<StructureStats> {
+    fn structure_stats(&self) -> IndexResult<StructureStats> {
         let mut st = StructureStats {
             height: self.height,
             ..StructureStats::default()
@@ -978,7 +997,7 @@ mod tests {
     #[test]
     fn box_query_matches_brute_force() {
         let pts = points(700, 3, 1);
-        let mut t = build(&pts);
+        let t = build(&pts);
         assert!(t.height() > 1);
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..30 {
@@ -1003,7 +1022,7 @@ mod tests {
         // Every point must reside in exactly one leaf (clean splits):
         // exact-match queries return exactly one copy of each oid.
         let pts = points(500, 2, 3);
-        let mut t = build(&pts);
+        let t = build(&pts);
         for (i, p) in pts.iter().enumerate() {
             let hits = t.box_query(&Rect::from_point(p)).unwrap();
             assert_eq!(
@@ -1018,7 +1037,7 @@ mod tests {
     #[test]
     fn knn_and_distance_match_brute_force() {
         let pts = points(400, 4, 4);
-        let mut t = build(&pts);
+        let t = build(&pts);
         let q = Point::new(vec![0.5; 4]);
         let got = t.knn(&q, 10, &L2).unwrap();
         let mut want: Vec<f64> = pts.iter().map(|p| L2.distance(&q, p)).collect();

@@ -17,6 +17,9 @@ pub enum PageError {
     },
     /// A serialized page failed to decode.
     Corrupt(String),
+    /// The operation requires the page to be unpinned (e.g. freeing a
+    /// page another handle still holds pinned).
+    Pinned(PageId),
     /// An error from the underlying file.
     Io(std::io::Error),
 }
@@ -32,6 +35,7 @@ impl fmt::Display for PageError {
                 write!(f, "page overflow: need {need} bytes, page size is {cap}")
             }
             PageError::Corrupt(msg) => write!(f, "corrupt page: {msg}"),
+            PageError::Pinned(id) => write!(f, "page {id} is pinned"),
             PageError::Io(e) => write!(f, "storage I/O error: {e}"),
         }
     }
@@ -58,7 +62,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = PageError::Overflow { need: 5000, cap: 4096 };
+        let e = PageError::Overflow {
+            need: 5000,
+            cap: 4096,
+        };
         let s = e.to_string();
         assert!(s.contains("5000") && s.contains("4096"));
         assert!(PageError::UnknownPage(PageId(7)).to_string().contains("p7"));

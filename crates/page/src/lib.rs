@@ -23,7 +23,7 @@ mod storage;
 
 pub use codec::{ByteReader, ByteWriter};
 pub use error::{PageError, PageResult};
-pub use pool::{BufferPool, IoStats};
+pub use pool::{BufferPool, IoStats, SHARDING_THRESHOLD};
 pub use storage::{FileStorage, MemStorage, Storage};
 
 /// The paper's experimental page size (§4: "we use a page size of 4096

@@ -1,7 +1,29 @@
 //! Buffer pool with LRU replacement, pinning, and I/O accounting.
+//!
+//! The pool is safe to share across threads: the frame table is split
+//! into shards, each behind its own [`parking_lot::Mutex`], the backing
+//! [`Storage`] sits behind a [`parking_lot::RwLock`] (cache misses take
+//! the shared read lock, so physical reads overlap), and the global I/O
+//! counters are atomics. Lock order is always shard → storage, and no
+//! operation holds two shard locks, so the pool cannot deadlock against
+//! itself.
+//!
+//! Small pools (capacity below [`SHARDING_THRESHOLD`]) use a single
+//! shard, which preserves exact global LRU order — the cost-model
+//! experiments depend on that determinism. Large pools trade exact LRU
+//! for per-shard LRU to cut contention.
 
 use crate::{PageError, PageId, PageResult, Storage};
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Pools at least this large split their frame table into
+/// [`NUM_SHARDS`] shards; smaller pools keep one shard and exact LRU.
+pub const SHARDING_THRESHOLD: usize = 128;
+
+/// Shard count for large pools (power of two; ids map by bitmask).
+const NUM_SHARDS: usize = 16;
 
 /// I/O counters maintained by a [`BufferPool`].
 ///
@@ -11,6 +33,14 @@ use std::collections::HashMap;
 /// (§4). `logical_reads` is therefore the number used for index costs;
 /// `seq_reads` is used by the scan baseline; the physical counters expose
 /// what actually hit the backing store given the pool's capacity.
+///
+/// Two sets of these counters exist: the pool-global set (read with
+/// [`BufferPool::stats`]) and per-caller accumulators filled by the
+/// `*_tracked` methods, which attribute I/O to the query that incurred
+/// it. `logical_reads` and `seq_reads` of a query depend only on the
+/// pages its traversal requests, so they are identical whether queries
+/// run serially or interleaved on many threads; `hits`/`physical_reads`
+/// depend on what the shared cache happens to hold at the time.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct IoStats {
     /// Page reads requested by the index (random accesses in the paper's
@@ -34,6 +64,50 @@ impl IoStats {
     pub fn weighted_accesses(&self) -> f64 {
         self.logical_reads as f64 + self.seq_reads as f64 * 0.1
     }
+
+    /// Adds another set of counters (e.g. folding per-query stats into a
+    /// batch total).
+    pub fn merge(&mut self, other: &IoStats) {
+        self.logical_reads += other.logical_reads;
+        self.seq_reads += other.seq_reads;
+        self.logical_writes += other.logical_writes;
+        self.physical_reads += other.physical_reads;
+        self.physical_writes += other.physical_writes;
+        self.hits += other.hits;
+    }
+}
+
+/// Pool-global counters, updated concurrently by every handle.
+#[derive(Default)]
+struct AtomicIoStats {
+    logical_reads: AtomicU64,
+    seq_reads: AtomicU64,
+    logical_writes: AtomicU64,
+    physical_reads: AtomicU64,
+    physical_writes: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl AtomicIoStats {
+    fn snapshot(&self) -> IoStats {
+        IoStats {
+            logical_reads: self.logical_reads.load(Relaxed),
+            seq_reads: self.seq_reads.load(Relaxed),
+            logical_writes: self.logical_writes.load(Relaxed),
+            physical_reads: self.physical_reads.load(Relaxed),
+            physical_writes: self.physical_writes.load(Relaxed),
+            hits: self.hits.load(Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.logical_reads.store(0, Relaxed);
+        self.seq_reads.store(0, Relaxed);
+        self.logical_writes.store(0, Relaxed);
+        self.physical_reads.store(0, Relaxed);
+        self.physical_writes.store(0, Relaxed);
+        self.hits.store(0, Relaxed);
+    }
 }
 
 struct Frame {
@@ -43,71 +117,30 @@ struct Frame {
     last_used: u64,
 }
 
-/// A write-back buffer pool over any [`Storage`].
-///
-/// `capacity` is the maximum number of resident frames; `0` disables
-/// caching entirely (every access is physical), which models the paper's
-/// cold-cache disk-access counting exactly. Pinned pages are never evicted.
-pub struct BufferPool<S: Storage> {
-    storage: S,
+struct Shard {
     frames: HashMap<PageId, Frame>,
-    capacity: usize,
+    /// Per-shard LRU clock; monotone under the shard lock.
     tick: u64,
-    stats: IoStats,
+    /// This shard's slice of the pool capacity.
+    capacity: usize,
 }
 
-impl<S: Storage> BufferPool<S> {
-    /// Wraps `storage` with a pool holding up to `capacity` pages.
-    pub fn new(storage: S, capacity: usize) -> Self {
-        Self {
-            storage,
-            frames: HashMap::with_capacity(capacity.min(1 << 16)),
-            capacity,
-            tick: 0,
-            stats: IoStats::default(),
-        }
-    }
-
-    /// The underlying page size.
-    pub fn page_size(&self) -> usize {
-        self.storage.page_size()
-    }
-
-    /// Number of live pages in the backing store.
-    pub fn live_pages(&self) -> usize {
-        self.storage.live_pages()
-    }
-
-    /// Current I/O counters.
-    pub fn stats(&self) -> IoStats {
-        self.stats
-    }
-
-    /// Resets the I/O counters (e.g. between build and query phases).
-    pub fn reset_stats(&mut self) {
-        self.stats = IoStats::default();
-    }
-
-    /// Allocates a new page.
-    pub fn allocate(&mut self) -> PageResult<PageId> {
-        self.storage.allocate()
-    }
-
-    /// Frees a page, dropping any cached frame.
-    pub fn free(&mut self, id: PageId) -> PageResult<()> {
-        if let Some(f) = self.frames.remove(&id) {
-            assert_eq!(f.pins, 0, "freeing a pinned page");
-        }
-        self.storage.free(id)
-    }
-
+impl Shard {
     fn next_tick(&mut self) -> u64 {
         self.tick += 1;
         self.tick
     }
 
-    fn evict_if_needed(&mut self) -> PageResult<()> {
-        while self.frames.len() > self.capacity {
+    /// Evicts LRU unpinned frames until at most `target` remain, writing
+    /// dirty victims back through `storage`. If every frame is pinned the
+    /// shard is left over target (callers shrink back on unpin).
+    fn evict_to<S: Storage>(
+        &mut self,
+        target: usize,
+        storage: &RwLock<S>,
+        stats: &AtomicIoStats,
+    ) -> PageResult<()> {
+        while self.frames.len() > target {
             let victim = self
                 .frames
                 .iter()
@@ -120,31 +153,145 @@ impl<S: Storage> BufferPool<S> {
             };
             let frame = self.frames.remove(&victim).unwrap();
             if frame.dirty {
-                self.stats.physical_writes += 1;
-                self.storage.write(victim, &frame.data)?;
+                stats.physical_writes.fetch_add(1, Relaxed);
+                storage.write().write(victim, &frame.data)?;
             }
         }
         Ok(())
     }
+}
 
-    fn read_impl(&mut self, id: PageId) -> PageResult<Vec<u8>> {
+/// A write-back buffer pool over any [`Storage`], shareable across
+/// threads (`&BufferPool` supports every read/write operation).
+///
+/// `capacity` is the maximum number of resident frames; `0` disables
+/// caching entirely (every access is physical), which models the paper's
+/// cold-cache disk-access counting exactly. Pinned pages are never
+/// evicted; if an insertion finds every frame pinned the pool runs over
+/// capacity temporarily and shrinks back on the next unpin.
+pub struct BufferPool<S: Storage> {
+    storage: RwLock<S>,
+    shards: Box<[Mutex<Shard>]>,
+    capacity: usize,
+    page_size: usize,
+    stats: AtomicIoStats,
+}
+
+impl<S: Storage> BufferPool<S> {
+    /// Wraps `storage` with a pool holding up to `capacity` pages.
+    pub fn new(storage: S, capacity: usize) -> Self {
+        let page_size = storage.page_size();
+        let n = if capacity < SHARDING_THRESHOLD {
+            1
+        } else {
+            NUM_SHARDS
+        };
+        let shards = (0..n)
+            .map(|i| {
+                // Spread the capacity so the shard slices sum exactly.
+                let cap = capacity / n + usize::from(i < capacity % n);
+                Mutex::new(Shard {
+                    frames: HashMap::with_capacity(cap.min(1 << 16)),
+                    tick: 0,
+                    capacity: cap,
+                })
+            })
+            .collect();
+        Self {
+            storage: RwLock::new(storage),
+            shards,
+            capacity,
+            page_size,
+            stats: AtomicIoStats::default(),
+        }
+    }
+
+    fn shard(&self, id: PageId) -> &Mutex<Shard> {
+        &self.shards[id.0 as usize & (self.shards.len() - 1)]
+    }
+
+    /// The underlying page size.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of live pages in the backing store.
+    pub fn live_pages(&self) -> usize {
+        self.storage.read().live_pages()
+    }
+
+    /// Number of frames currently resident across all shards.
+    pub fn resident_frames(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().frames.len()).sum()
+    }
+
+    /// Current pool-global I/O counters.
+    pub fn stats(&self) -> IoStats {
+        self.stats.snapshot()
+    }
+
+    /// Resets the pool-global I/O counters (e.g. between build and query
+    /// phases).
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    /// Allocates a new page.
+    pub fn allocate(&self) -> PageResult<PageId> {
+        self.storage.write().allocate()
+    }
+
+    /// Frees a page, dropping any cached frame.
+    ///
+    /// Freeing a page that is still pinned fails with
+    /// [`PageError::Pinned`] and leaves both the frame and the backing
+    /// page untouched.
+    pub fn free(&self, id: PageId) -> PageResult<()> {
+        let mut shard = self.shard(id).lock();
+        if let Some(f) = shard.frames.get(&id) {
+            if f.pins > 0 {
+                return Err(PageError::Pinned(id));
+            }
+            shard.frames.remove(&id);
+        }
+        // Shard lock is still held so no concurrent read can fault the
+        // page back in between the frame drop and the storage free.
+        self.storage.write().free(id)
+    }
+
+    fn read_impl(&self, id: PageId, seq: bool, io: &mut IoStats) -> PageResult<Vec<u8>> {
+        if seq {
+            io.seq_reads += 1;
+            self.stats.seq_reads.fetch_add(1, Relaxed);
+        } else {
+            io.logical_reads += 1;
+            self.stats.logical_reads.fetch_add(1, Relaxed);
+        }
         if self.capacity == 0 {
             // Uncached mode: go straight to storage.
-            self.stats.physical_reads += 1;
-            let mut buf = vec![0u8; self.storage.page_size()];
-            self.storage.read(id, &mut buf)?;
+            io.physical_reads += 1;
+            self.stats.physical_reads.fetch_add(1, Relaxed);
+            let mut buf = vec![0u8; self.page_size];
+            self.storage.read().read(id, &mut buf)?;
             return Ok(buf);
         }
-        let tick = self.next_tick();
-        if let Some(f) = self.frames.get_mut(&id) {
-            self.stats.hits += 1;
+        let mut shard = self.shard(id).lock();
+        let tick = shard.next_tick();
+        if let Some(f) = shard.frames.get_mut(&id) {
+            io.hits += 1;
+            self.stats.hits.fetch_add(1, Relaxed);
             f.last_used = tick;
             return Ok(f.data.to_vec());
         }
-        self.stats.physical_reads += 1;
-        let mut buf = vec![0u8; self.storage.page_size()];
-        self.storage.read(id, &mut buf)?;
-        self.frames.insert(
+        io.physical_reads += 1;
+        self.stats.physical_reads.fetch_add(1, Relaxed);
+        let mut buf = vec![0u8; self.page_size];
+        self.storage.read().read(id, &mut buf)?;
+        // Make room *before* inserting so the just-faulted frame can never
+        // be picked as its own eviction victim.
+        let target = shard.capacity.saturating_sub(1);
+        shard.evict_to(target, &self.storage, &self.stats)?;
+        shard.frames.insert(
             id,
             Frame {
                 data: buf.clone().into_boxed_slice(),
@@ -153,51 +300,62 @@ impl<S: Storage> BufferPool<S> {
                 last_used: tick,
             },
         );
-        // The new frame may itself be the eviction victim when every other
-        // frame is pinned; `buf` is already in hand, so that is harmless.
-        self.evict_if_needed()?;
         Ok(buf)
     }
 
     /// Reads a page (counted as one random access).
-    pub fn read(&mut self, id: PageId) -> PageResult<Vec<u8>> {
-        self.stats.logical_reads += 1;
-        self.read_impl(id)
+    pub fn read(&self, id: PageId) -> PageResult<Vec<u8>> {
+        self.read_tracked(id, &mut IoStats::default())
+    }
+
+    /// Reads a page, attributing the access to `io` as well as to the
+    /// pool-global counters. Queries pass their own accumulator so batch
+    /// runners can report per-query costs even when many queries share
+    /// the pool.
+    pub fn read_tracked(&self, id: PageId, io: &mut IoStats) -> PageResult<Vec<u8>> {
+        self.read_impl(id, false, io)
     }
 
     /// Reads a page through the sequential path (counted as one sequential
     /// access; used by the linear-scan baseline).
-    pub fn read_sequential(&mut self, id: PageId) -> PageResult<Vec<u8>> {
-        self.stats.seq_reads += 1;
-        self.read_impl(id)
+    pub fn read_sequential(&self, id: PageId) -> PageResult<Vec<u8>> {
+        self.read_sequential_tracked(id, &mut IoStats::default())
+    }
+
+    /// Sequential-path read attributed to `io` (see
+    /// [`read_tracked`](Self::read_tracked)).
+    pub fn read_sequential_tracked(&self, id: PageId, io: &mut IoStats) -> PageResult<Vec<u8>> {
+        self.read_impl(id, true, io)
     }
 
     /// Writes page contents (write-back; flushed on eviction or
     /// [`flush_all`](Self::flush_all)).
-    pub fn write(&mut self, id: PageId, data: &[u8]) -> PageResult<()> {
-        if data.len() > self.storage.page_size() {
+    pub fn write(&self, id: PageId, data: &[u8]) -> PageResult<()> {
+        if data.len() > self.page_size {
             return Err(PageError::Overflow {
                 need: data.len(),
-                cap: self.storage.page_size(),
+                cap: self.page_size,
             });
         }
-        self.stats.logical_writes += 1;
+        self.stats.logical_writes.fetch_add(1, Relaxed);
         if self.capacity == 0 {
-            self.stats.physical_writes += 1;
-            return self.storage.write(id, data);
+            self.stats.physical_writes.fetch_add(1, Relaxed);
+            return self.storage.write().write(id, data);
         }
-        let ps = self.storage.page_size();
-        let mut page = vec![0u8; ps];
+        let mut page = vec![0u8; self.page_size];
         page[..data.len()].copy_from_slice(data);
-        let tick = self.next_tick();
-        match self.frames.get_mut(&id) {
+        let mut shard = self.shard(id).lock();
+        let tick = shard.next_tick();
+        match shard.frames.get_mut(&id) {
             Some(f) => {
                 f.data = page.into_boxed_slice();
                 f.dirty = true;
                 f.last_used = tick;
             }
             None => {
-                self.frames.insert(
+                let target = shard.capacity.saturating_sub(1);
+                shard.evict_to(target, &self.storage, &self.stats)?;
+                shard.frames.insert(
                     id,
                     Frame {
                         data: page.into_boxed_slice(),
@@ -206,81 +364,92 @@ impl<S: Storage> BufferPool<S> {
                         last_used: tick,
                     },
                 );
-                self.evict_if_needed()?;
             }
         }
         Ok(())
     }
 
     /// Pins a page, faulting it in; pinned pages are never evicted.
-    pub fn pin(&mut self, id: PageId) -> PageResult<()> {
+    pub fn pin(&self, id: PageId) -> PageResult<()> {
         if self.capacity == 0 {
             return Ok(()); // pinning is meaningless without frames
         }
-        let tick = self.next_tick();
-        if let Some(f) = self.frames.get_mut(&id) {
+        let mut shard = self.shard(id).lock();
+        let tick = shard.next_tick();
+        if let Some(f) = shard.frames.get_mut(&id) {
             f.pins += 1;
             f.last_used = tick;
             return Ok(());
         }
-        self.stats.physical_reads += 1;
-        let mut buf = vec![0u8; self.storage.page_size()];
-        self.storage.read(id, &mut buf)?;
-        self.frames.insert(
+        self.stats.physical_reads.fetch_add(1, Relaxed);
+        let mut buf = vec![0u8; self.page_size];
+        self.storage.read().read(id, &mut buf)?;
+        let target = shard.capacity.saturating_sub(1);
+        shard.evict_to(target, &self.storage, &self.stats)?;
+        shard.frames.insert(
             id,
             Frame {
                 data: buf.into_boxed_slice(),
                 dirty: false,
-                pins: 1, // pinned before any eviction can pick it
+                pins: 1,
                 last_used: tick,
             },
         );
-        self.evict_if_needed()
+        Ok(())
     }
 
-    /// Releases one pin.
+    /// Releases one pin; a pool left over capacity by pinned-frame
+    /// pressure shrinks back here.
     ///
     /// # Panics
     /// Panics if the page is not pinned (pin/unpin imbalance is a bug).
-    pub fn unpin(&mut self, id: PageId) {
+    pub fn unpin(&self, id: PageId) {
         if self.capacity == 0 {
             return;
         }
-        let f = self
+        let mut shard = self.shard(id).lock();
+        let f = shard
             .frames
             .get_mut(&id)
             .expect("unpin of non-resident page");
         assert!(f.pins > 0, "unpin without matching pin");
         f.pins -= 1;
+        let target = shard.capacity;
+        // Unpin itself cannot fail; surface write-back errors on the next
+        // fallible operation rather than panicking here.
+        let _ = shard.evict_to(target, &self.storage, &self.stats);
     }
 
     /// Writes every dirty frame back to storage.
-    pub fn flush_all(&mut self) -> PageResult<()> {
-        let mut dirty: Vec<PageId> = self
-            .frames
-            .iter()
-            .filter(|(_, f)| f.dirty)
-            .map(|(id, _)| *id)
-            .collect();
-        dirty.sort();
-        for id in dirty {
-            let data = self.frames[&id].data.clone();
-            self.stats.physical_writes += 1;
-            self.storage.write(id, &data)?;
-            self.frames.get_mut(&id).unwrap().dirty = false;
+    pub fn flush_all(&self) -> PageResult<()> {
+        for shard in self.shards.iter() {
+            let mut shard = shard.lock();
+            let mut dirty: Vec<PageId> = shard
+                .frames
+                .iter()
+                .filter(|(_, f)| f.dirty)
+                .map(|(id, _)| *id)
+                .collect();
+            dirty.sort();
+            for id in dirty {
+                self.stats.physical_writes.fetch_add(1, Relaxed);
+                let frame = shard.frames.get_mut(&id).unwrap();
+                self.storage.write().write(id, &frame.data)?;
+                frame.dirty = false;
+            }
         }
         Ok(())
     }
 
     /// Flushes and returns the backing store.
-    pub fn into_storage(mut self) -> PageResult<S> {
+    pub fn into_storage(self) -> PageResult<S> {
         self.flush_all()?;
-        Ok(self.storage)
+        Ok(self.storage.into_inner())
     }
 
-    /// Read-only access to the backing store.
-    pub fn storage(&self) -> &S {
-        &self.storage
+    /// Runs `f` with shared access to the backing store.
+    pub fn with_storage<R>(&self, f: impl FnOnce(&S) -> R) -> R {
+        f(&self.storage.read())
     }
 }
 
@@ -295,7 +464,7 @@ mod tests {
 
     #[test]
     fn read_write_roundtrip_cached() {
-        let mut p = pool(4);
+        let p = pool(4);
         let a = p.allocate().unwrap();
         p.write(a, b"cached").unwrap();
         let got = p.read(a).unwrap();
@@ -308,7 +477,7 @@ mod tests {
 
     #[test]
     fn capacity_zero_counts_every_access_as_physical() {
-        let mut p = pool(0);
+        let p = pool(0);
         let a = p.allocate().unwrap();
         p.write(a, b"x").unwrap();
         p.read(a).unwrap();
@@ -322,7 +491,7 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recently_used() {
-        let mut p = pool(2);
+        let p = pool(2);
         let ids: Vec<_> = (0..3).map(|_| p.allocate().unwrap()).collect();
         for (i, id) in ids.iter().enumerate() {
             p.write(*id, &[i as u8]).unwrap();
@@ -339,7 +508,7 @@ mod tests {
 
     #[test]
     fn pinned_pages_survive_eviction_pressure() {
-        let mut p = pool(1);
+        let p = pool(1);
         let a = p.allocate().unwrap();
         let b = p.allocate().unwrap();
         p.write(a, b"pinned").unwrap();
@@ -356,7 +525,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "unpin without matching pin")]
     fn unbalanced_unpin_panics() {
-        let mut p = pool(2);
+        let p = pool(2);
         let a = p.allocate().unwrap();
         p.pin(a).unwrap();
         p.unpin(a);
@@ -365,11 +534,11 @@ mod tests {
 
     #[test]
     fn flush_all_persists_dirty_frames() {
-        let mut p = pool(8);
+        let p = pool(8);
         let a = p.allocate().unwrap();
         p.write(a, b"durable").unwrap();
         p.flush_all().unwrap();
-        let mut storage = p.into_storage().unwrap();
+        let storage = p.into_storage().unwrap();
         let mut buf = vec![0u8; 128];
         storage.read(a, &mut buf).unwrap();
         assert_eq!(&buf[..7], b"durable");
@@ -377,7 +546,7 @@ mod tests {
 
     #[test]
     fn sequential_reads_tracked_separately() {
-        let mut p = pool(0);
+        let p = pool(0);
         let a = p.allocate().unwrap();
         p.write(a, b"s").unwrap();
         p.read_sequential(a).unwrap();
@@ -389,7 +558,7 @@ mod tests {
 
     #[test]
     fn reset_stats_clears_counters() {
-        let mut p = pool(2);
+        let p = pool(2);
         let a = p.allocate().unwrap();
         p.write(a, b"x").unwrap();
         p.read(a).unwrap();
@@ -399,10 +568,146 @@ mod tests {
 
     #[test]
     fn free_drops_frame() {
-        let mut p = pool(2);
+        let p = pool(2);
         let a = p.allocate().unwrap();
         p.write(a, b"gone").unwrap();
         p.free(a).unwrap();
         assert!(p.read(a).is_err());
+    }
+
+    #[test]
+    fn free_of_pinned_page_errors_and_keeps_page() {
+        let p = pool(4);
+        let a = p.allocate().unwrap();
+        p.write(a, b"held").unwrap();
+        p.pin(a).unwrap();
+        assert!(matches!(p.free(a), Err(PageError::Pinned(id)) if id == a));
+        // The page and its contents are untouched by the failed free.
+        assert_eq!(&p.read(a).unwrap()[..4], b"held");
+        p.unpin(a);
+        p.free(a).unwrap();
+        assert!(p.read(a).is_err());
+    }
+
+    #[test]
+    fn all_pinned_overflow_shrinks_back_on_unpin() {
+        // Regression for the all-pinned eviction path: with every frame
+        // pinned, a faulting read must (1) keep the just-read frame
+        // resident rather than evicting it, (2) run over capacity only
+        // while the pins last, and (3) lose no dirty data.
+        let p = pool(2);
+        let ids: Vec<_> = (0..3).map(|_| p.allocate().unwrap()).collect();
+        p.write(ids[0], b"d0").unwrap();
+        p.write(ids[1], b"d1").unwrap();
+        p.write(ids[2], b"d2").unwrap();
+        // Pool capacity is 2; pin both resident frames (ids[1], ids[2] —
+        // ids[0] was evicted by the third write, write-back preserved it).
+        assert_eq!(p.resident_frames(), 2);
+        p.pin(ids[1]).unwrap();
+        p.pin(ids[2]).unwrap();
+
+        // Fault ids[0] back in: every other frame is pinned, so the pool
+        // must go over capacity instead of evicting the new frame.
+        let before = p.stats();
+        assert_eq!(&p.read(ids[0]).unwrap()[..2], b"d0");
+        assert_eq!(p.resident_frames(), 3, "over capacity while all pinned");
+        let after = p.stats();
+        assert_eq!(after.physical_reads, before.physical_reads + 1);
+
+        // The just-inserted frame is genuinely resident: reading it again
+        // is a hit, not another physical read.
+        let s0 = p.stats();
+        p.read(ids[0]).unwrap();
+        let s1 = p.stats();
+        assert_eq!(s1.hits, s0.hits + 1, "new frame was not self-evicted");
+        assert_eq!(s1.physical_reads, s0.physical_reads);
+
+        // Dirty any frame, then release a pin: the pool shrinks back to
+        // capacity and the dirty victim is written back, not dropped.
+        p.write(ids[0], b"D0").unwrap();
+        p.unpin(ids[1]);
+        assert_eq!(p.resident_frames(), 2, "shrinks back on unpin");
+        assert_eq!(
+            &p.read(ids[0]).unwrap()[..2],
+            b"D0",
+            "write-back preserved data"
+        );
+        p.unpin(ids[2]);
+    }
+
+    #[test]
+    fn tracked_reads_attribute_to_caller() {
+        let p = pool(4);
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        p.write(a, b"a").unwrap();
+        p.write(b, b"b").unwrap();
+        let mut q1 = IoStats::default();
+        let mut q2 = IoStats::default();
+        p.read_tracked(a, &mut q1).unwrap();
+        p.read_tracked(a, &mut q1).unwrap();
+        p.read_tracked(b, &mut q2).unwrap();
+        assert_eq!(q1.logical_reads, 2);
+        assert_eq!(q2.logical_reads, 1);
+        assert_eq!(q1.hits, 2, "writes populated the pool");
+        // Global counters are the sum of the per-caller ones.
+        let g = p.stats();
+        assert_eq!(g.logical_reads, q1.logical_reads + q2.logical_reads);
+        assert_eq!(g.hits, q1.hits + q2.hits);
+        let mut sum = IoStats::default();
+        sum.merge(&q1);
+        sum.merge(&q2);
+        assert_eq!(g.logical_reads, sum.logical_reads);
+    }
+
+    #[test]
+    fn large_pools_shard_and_still_account() {
+        let p = pool(SHARDING_THRESHOLD);
+        let ids: Vec<_> = (0..64).map(|_| p.allocate().unwrap()).collect();
+        for (i, id) in ids.iter().enumerate() {
+            p.write(*id, &[i as u8]).unwrap();
+        }
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(p.read(*id).unwrap()[0], i as u8);
+        }
+        let s = p.stats();
+        assert_eq!(s.logical_reads, 64);
+        assert_eq!(s.hits, 64, "everything fits; all reads hit");
+        assert_eq!(p.resident_frames(), 64);
+    }
+
+    #[test]
+    fn concurrent_readers_see_consistent_pages() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let p = pool(SHARDING_THRESHOLD);
+        let ids: Vec<_> = (0..32).map(|_| p.allocate().unwrap()).collect();
+        for (i, id) in ids.iter().enumerate() {
+            p.write(*id, &[i as u8; 16]).unwrap();
+        }
+        let total = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let p = &p;
+                let ids = &ids;
+                let total = &total;
+                s.spawn(move || {
+                    let mut io = IoStats::default();
+                    for round in 0..50 {
+                        for (i, id) in ids.iter().enumerate() {
+                            if (i + round + t) % 3 == 0 {
+                                let page = p.read_tracked(*id, &mut io).unwrap();
+                                assert!(page[..16].iter().all(|&x| x == i as u8));
+                            }
+                        }
+                    }
+                    total.fetch_add(io.logical_reads, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(
+            p.stats().logical_reads,
+            total.load(Ordering::Relaxed),
+            "global counter equals the sum of per-thread counters"
+        );
     }
 }

@@ -2,8 +2,36 @@
 
 use crate::{PageError, PageId, PageResult, DEFAULT_PAGE_SIZE};
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{Seek, SeekFrom, Write};
 use std::path::Path;
+
+/// Positioned full read that leaves the file cursor alone, so concurrent
+/// readers holding `&File` do not race on seek position.
+#[cfg(unix)]
+fn read_at_exact(file: &File, buf: &mut [u8], off: u64) -> std::io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, off)
+}
+
+#[cfg(windows)]
+fn read_at_exact(file: &File, mut buf: &mut [u8], mut off: u64) -> std::io::Result<()> {
+    use std::os::windows::fs::FileExt;
+    while !buf.is_empty() {
+        match file.seek_read(buf, off)? {
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "page file truncated",
+                ))
+            }
+            n => {
+                buf = &mut buf[n..];
+                off += n as u64;
+            }
+        }
+    }
+    Ok(())
+}
 
 /// A flat array of fixed-size pages.
 ///
@@ -11,7 +39,13 @@ use std::path::Path;
 /// `write` shorter than the page size is zero-padded, so a page always
 /// round-trips to exactly `page_size` bytes (decoders know their own
 /// lengths).
-pub trait Storage {
+///
+/// `read` takes `&self` so a [`BufferPool`](crate::BufferPool) can serve
+/// cache misses from several query threads at once (file stores use
+/// positioned reads); the `Send + Sync` supertraits are what let the
+/// pool — and every index built on it — hand out shared search handles
+/// across threads.
+pub trait Storage: Send + Sync {
     /// The fixed page size in bytes.
     fn page_size(&self) -> usize;
 
@@ -19,7 +53,7 @@ pub trait Storage {
     fn allocate(&mut self) -> PageResult<PageId>;
 
     /// Reads a full page into `buf` (`buf.len() == page_size`).
-    fn read(&mut self, id: PageId, buf: &mut [u8]) -> PageResult<()>;
+    fn read(&self, id: PageId, buf: &mut [u8]) -> PageResult<()>;
 
     /// Writes `data` (at most `page_size` bytes) to the page.
     fn write(&mut self, id: PageId, data: &[u8]) -> PageResult<()>;
@@ -92,7 +126,7 @@ impl Storage for MemStorage {
         Ok(PageId(i as u32))
     }
 
-    fn read(&mut self, id: PageId, buf: &mut [u8]) -> PageResult<()> {
+    fn read(&self, id: PageId, buf: &mut [u8]) -> PageResult<()> {
         let i = self.slot(id)?;
         debug_assert_eq!(buf.len(), self.page_size);
         buf.copy_from_slice(self.pages[i].as_ref().unwrap());
@@ -215,12 +249,11 @@ impl Storage for FileStorage {
         Ok(PageId(i))
     }
 
-    fn read(&mut self, id: PageId, buf: &mut [u8]) -> PageResult<()> {
+    fn read(&self, id: PageId, buf: &mut [u8]) -> PageResult<()> {
         self.check(id)?;
         debug_assert_eq!(buf.len(), self.page_size);
-        self.file
-            .seek(SeekFrom::Start(u64::from(id.0) * self.page_size as u64))?;
-        self.file.read_exact(buf)?;
+        let off = u64::from(id.0) * self.page_size as u64;
+        read_at_exact(&self.file, buf, off)?;
         Ok(())
     }
 
@@ -326,7 +359,7 @@ mod tests {
             s.sync().unwrap();
         }
         {
-            let mut s = FileStorage::open(&path, 128).unwrap();
+            let s = FileStorage::open(&path, 128).unwrap();
             assert_eq!(s.live_pages(), 2);
             let mut buf = vec![0u8; 128];
             s.read(PageId(0), &mut buf).unwrap();
@@ -352,7 +385,7 @@ mod tests {
 
     #[test]
     fn invalid_page_id_is_rejected() {
-        let mut s = MemStorage::new();
+        let s = MemStorage::new();
         let mut buf = vec![0u8; s.page_size()];
         assert!(matches!(
             s.read(PageId::INVALID, &mut buf),

@@ -1,0 +1,414 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this workspace member
+//! implements the subset of proptest the test suites use: the
+//! [`Strategy`] trait with `prop_map`, `prop_recursive`, tuple and range
+//! strategies, [`collection::vec`], `prop_oneof!`, and the [`proptest!`]
+//! macro with `prop_assert!` / `prop_assert_eq!` / `prop_assume!` and
+//! `ProptestConfig { cases }`.
+//!
+//! Differences from upstream, deliberate for an offline shim:
+//!
+//! * **no shrinking** — a failing case reports its seed and case number
+//!   instead of a minimized input; rerunning is deterministic, so the
+//!   failure reproduces exactly;
+//! * inputs are generated from a per-test deterministic RNG (seeded from
+//!   the test's module path and name), so runs are stable across
+//!   processes and machines.
+
+use rand::prelude::*;
+
+pub mod strategy;
+pub use strategy::Strategy;
+
+/// Runtime configuration accepted by `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum generated-but-rejected (`prop_assume!`) cases tolerated
+    /// before the test errors out as too selective.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is discarded.
+    Reject,
+    /// An assertion failed; the test fails.
+    Fail(String),
+}
+
+/// Outcome alias used by generated test bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Drives one property test: generates inputs, runs the body, stops on
+/// the first failure with a reproducible report.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test; the name seeds the RNG.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        // FNV-1a over the test name: stable, collision-free enough for
+        // seeding purposes.
+        let mut seed = 0xcbf29ce484222325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x100000001b3);
+        }
+        // HYT_PROPTEST_SEED reruns the whole suite on a different stream.
+        if let Ok(extra) = std::env::var("HYT_PROPTEST_SEED") {
+            if let Ok(x) = extra.parse::<u64>() {
+                seed ^= x.rotate_left(17);
+            }
+        }
+        Self { config, name, seed }
+    }
+
+    /// Runs `case` until `config.cases` successes, a failure, or the
+    /// reject budget is exhausted. Panics (normal Rust test failure) on
+    /// the first failing case.
+    pub fn run<F>(&mut self, mut case: F)
+    where
+        F: FnMut(&mut StdRng) -> TestCaseResult,
+    {
+        let mut passed = 0u32;
+        let mut rejects = 0u32;
+        let mut attempt = 0u64;
+        while passed < self.config.cases {
+            attempt += 1;
+            // Each case gets its own child rng so a failure can name the
+            // exact (seed, attempt) pair that reproduces it.
+            let mut case_rng =
+                StdRng::seed_from_u64(self.seed ^ attempt.wrapping_mul(0x9e3779b97f4a7c15));
+            match case(&mut case_rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejects += 1;
+                    if rejects > self.config.max_global_rejects {
+                        panic!(
+                            "property `{}` rejected {} inputs before reaching {} cases — \
+                             assume() is too selective",
+                            self.name, rejects, self.config.cases
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "property `{}` failed at case {} (seed {:#x}, attempt {}):\n{}",
+                        self.name, passed, self.seed, attempt, msg
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection` subset).
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::prelude::*;
+    use std::ops::Range;
+
+    /// Vector length specification: a fixed size or a size range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from `element`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = if self.size.hi - self.size.lo <= 1 {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`: element strategy + size (fixed or range).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Numeric strategies (`proptest::num` subset).
+pub mod num {
+    /// `f32` strategies.
+    pub mod f32 {
+        use crate::strategy::Strategy;
+        use rand::prelude::*;
+
+        /// Any bit pattern, including infinities and NaNs — matches the
+        /// upstream `proptest::num::f32::ANY` contract closely enough
+        /// for codec round-trip tests.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Any;
+
+        /// The canonical instance of [`Any`].
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = f32;
+            fn generate(&self, rng: &mut StdRng) -> f32 {
+                f32::from_bits(rng.gen::<u32>())
+            }
+        }
+    }
+}
+
+/// The `proptest::prelude` subset: what `use proptest::prelude::*`
+/// must bring into scope.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig,
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args..)` — fails the
+/// current case without panicking so the runner can report context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` with optional message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` with optional message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a != b) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// `prop_assume!(cond)` — discards the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Weighted union of strategies: `prop_oneof![3 => a, 1 => b]` or the
+/// unweighted `prop_oneof![a, b, c]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// The `proptest!` macro: wraps `fn name(arg in strategy, ..) { body }`
+/// items into `#[test]` functions driven by a [`TestRunner`].
+#[macro_export]
+macro_rules! proptest {
+    // With a config header.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    // Without a config header.
+    ($(#[$meta:meta])* fn $($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::ProptestConfig::default()) $(#[$meta])* fn $($rest)*);
+    };
+    // Item muncher.
+    (@fns ($cfg:expr) $(#[$meta:meta])* fn $name:ident(
+        $($arg:pat_param in $strat:expr),+ $(,)?
+    ) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner = $crate::TestRunner::new(
+                config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            runner.run(|proptest_case_rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), proptest_case_rng);)+
+                (|| -> $crate::TestCaseResult {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })()
+            });
+        }
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    (@fns ($cfg:expr)) => {};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Shape {
+        Dot,
+        Pair(Box<Shape>, Box<Shape>),
+    }
+
+    fn shape_strategy() -> impl Strategy<Value = Shape> {
+        Just(Shape::Dot).prop_recursive(4, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Shape::Pair(Box::new(a), Box::new(b)))
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -1.0f32..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_sizes_respect_range(v in crate::collection::vec(0u32..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn oneof_maps_and_tuples(op in prop_oneof![
+            3 => (0usize..5).prop_map(|i| i * 2),
+            1 => (0usize..5, 1usize..3).prop_map(|(a, b)| a + b),
+        ]) {
+            prop_assert!(op <= 10);
+        }
+
+        #[test]
+        fn assume_discards(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn recursion_terminates(s in shape_strategy()) {
+            fn depth(s: &Shape) -> usize {
+                match s {
+                    Shape::Dot => 1,
+                    Shape::Pair(a, b) => 1 + depth(a).max(depth(b)),
+                }
+            }
+            prop_assert!(depth(&s) <= 6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failures_panic_with_context() {
+        let mut runner = crate::TestRunner::new(
+            ProptestConfig {
+                cases: 8,
+                ..Default::default()
+            },
+            "demo",
+        );
+        runner.run(|_| Err(crate::TestCaseError::Fail("boom".into())));
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        use rand::prelude::*;
+        let strat = crate::collection::vec(0u32..1000, 5);
+        let gen_with = |name| {
+            let mut r = crate::TestRunner::new(
+                ProptestConfig {
+                    cases: 1,
+                    ..Default::default()
+                },
+                name,
+            );
+            let mut out = Vec::new();
+            r.run(|rng| {
+                out = Strategy::generate(&strat, rng);
+                Ok(())
+            });
+            out
+        };
+        assert_eq!(gen_with("same"), gen_with("same"));
+        assert_ne!(gen_with("same"), gen_with("different"));
+        // Ensure StdRng is actually in scope/usable from dependents.
+        let _ = StdRng::seed_from_u64(1).gen::<f64>();
+    }
+}

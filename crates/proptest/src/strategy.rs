@@ -1,0 +1,232 @@
+//! Generate-only strategies: the composable value-generation half of
+//! proptest's `Strategy`, without shrink trees.
+
+use rand::prelude::*;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// A recipe for generating values of one type.
+///
+/// Mirrors `proptest::strategy::Strategy` closely enough that test code
+/// written against the real crate compiles unchanged for the combinators
+/// this workspace uses: `prop_map`, `prop_recursive`, `boxed`, ranges,
+/// tuples, and [`crate::collection::vec`].
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Recursive strategies: `self` generates leaves; `expand` turns a
+    /// strategy for subtrees into a strategy for branches. `depth` bounds
+    /// recursion; `_desired_size` and `_expected_branch` are accepted for
+    /// API compatibility and unused (no shrinking, no size budget).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        expand: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        Recursive {
+            inner: Rc::new(RecursiveDef {
+                base: self.boxed(),
+                expand: Box::new(move |s| expand(s).boxed()),
+            }),
+            depth,
+        }
+    }
+
+    /// Type-erases the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Always generates clones of one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+struct RecursiveDef<T> {
+    base: BoxedStrategy<T>,
+    expand: Box<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+}
+
+/// See [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    inner: Rc<RecursiveDef<T>>,
+    depth: u32,
+}
+
+impl<T> Clone for Recursive<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Rc::clone(&self.inner),
+            depth: self.depth,
+        }
+    }
+}
+
+impl<T: 'static> Strategy for Recursive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        // Recurse with dwindling probability so generated structures vary
+        // between near-leaves and full-depth trees.
+        if self.depth == 0 || rng.gen::<f32>() >= 0.75 {
+            return self.inner.base.generate(rng);
+        }
+        let sub = Recursive {
+            inner: Rc::clone(&self.inner),
+            depth: self.depth - 1,
+        };
+        (self.inner.expand)(sub.boxed()).generate(rng)
+    }
+}
+
+/// Weighted choice between type-erased strategies (`prop_oneof!`).
+#[derive(Clone)]
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; weights must sum to a positive value.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Self { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (w, s) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights changed mid-generate")
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let u = Union::new(vec![(9, Just(0usize).boxed()), (1, Just(1usize).boxed())]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ones: usize = (0..10_000).map(|_| u.generate(&mut rng)).sum();
+        assert!(
+            (500..1500).contains(&ones),
+            "9:1 union gave {ones}/10000 ones"
+        );
+    }
+
+    #[test]
+    fn map_and_tuple_compose() {
+        let s = (0u32..4, 0u32..4).prop_map(|(a, b)| a * 10 + b);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v / 10 < 4 && v % 10 < 4);
+        }
+    }
+}

@@ -99,11 +99,11 @@ impl<S: Storage> SeqScan<S> {
         w.into_inner()
     }
 
-    /// Runs `f` over every entry, reading pages sequentially.
-    fn scan_all<F: FnMut(&Point, u64)>(&mut self, mut f: F) -> IndexResult<()> {
-        for i in 0..self.pages.len() {
-            let pid = self.pages[i];
-            let buf = self.pool.read_sequential(pid)?;
+    /// Runs `f` over every entry, reading pages sequentially; page reads
+    /// are attributed to `io`.
+    fn scan_all<F: FnMut(&Point, u64)>(&self, io: &mut IoStats, mut f: F) -> IndexResult<()> {
+        for &pid in &self.pages {
+            let buf = self.pool.read_sequential_tracked(pid, io)?;
             for (p, oid) in self.decode_page(&buf)? {
                 f(&p, oid);
             }
@@ -172,56 +172,64 @@ impl<S: Storage> MultidimIndex for SeqScan<S> {
         Ok(false)
     }
 
-    fn box_query(&mut self, rect: &Rect) -> IndexResult<Vec<u64>> {
+    fn box_query_counted(&self, rect: &Rect) -> IndexResult<(Vec<u64>, IoStats)> {
         check_dim(self.dim, rect.dim())?;
         let mut out = Vec::new();
-        self.scan_all(|p, oid| {
+        let mut io = IoStats::default();
+        self.scan_all(&mut io, |p, oid| {
             if rect.contains_point(p) {
                 out.push(oid);
             }
         })?;
-        Ok(out)
+        Ok((out, io))
     }
 
-    fn distance_range(
-        &mut self,
+    fn distance_range_counted(
+        &self,
         q: &Point,
         radius: f64,
         metric: &dyn Metric,
-    ) -> IndexResult<Vec<u64>> {
+    ) -> IndexResult<(Vec<u64>, IoStats)> {
         check_dim(self.dim, q.dim())?;
         let mut out = Vec::new();
-        self.scan_all(|p, oid| {
+        let mut io = IoStats::default();
+        self.scan_all(&mut io, |p, oid| {
             if metric.distance(q, p) <= radius {
                 out.push(oid);
             }
         })?;
-        Ok(out)
+        Ok((out, io))
     }
 
-    fn knn(&mut self, q: &Point, k: usize, metric: &dyn Metric) -> IndexResult<Vec<(u64, f64)>> {
+    fn knn_counted(
+        &self,
+        q: &Point,
+        k: usize,
+        metric: &dyn Metric,
+    ) -> IndexResult<(Vec<(u64, f64)>, IoStats)> {
         check_dim(self.dim, q.dim())?;
+        let mut io = IoStats::default();
         if k == 0 {
-            return Ok(Vec::new());
+            return Ok((Vec::new(), io));
         }
         let mut hits: Vec<(u64, f64)> = Vec::new();
-        self.scan_all(|p, oid| {
+        self.scan_all(&mut io, |p, oid| {
             hits.push((oid, metric.distance(q, p)));
         })?;
         hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         hits.truncate(k);
-        Ok(hits)
+        Ok((hits, io))
     }
 
     fn io_stats(&self) -> IoStats {
         self.pool.stats()
     }
 
-    fn reset_io_stats(&mut self) {
+    fn reset_io_stats(&self) {
         self.pool.reset_stats();
     }
 
-    fn structure_stats(&mut self) -> IndexResult<StructureStats> {
+    fn structure_stats(&self) -> IndexResult<StructureStats> {
         Ok(StructureStats {
             height: 1,
             total_nodes: self.pages.len(),

@@ -67,7 +67,9 @@ impl<S: Storage> SrTree<S> {
     /// Creates an empty SR-tree over the given page store.
     pub fn with_storage(dim: usize, cfg: SrTreeConfig, storage: S) -> IndexResult<Self> {
         if storage.page_size() != cfg.page_size {
-            return Err(IndexError::Internal("storage/config page size mismatch".into()));
+            return Err(IndexError::Internal(
+                "storage/config page size mismatch".into(),
+            ));
         }
         let data_cap = data_capacity(cfg.page_size, dim);
         let index_cap = index_capacity(cfg.page_size, dim);
@@ -80,7 +82,7 @@ impl<S: Storage> SrTree<S> {
         }
         let data_min = ((cfg.min_fill * data_cap as f64).floor() as usize).max(1);
         let index_min = ((cfg.min_fill * index_cap as f64).floor() as usize).max(1);
-        let mut pool = BufferPool::new(storage, cfg.pool_pages);
+        let pool = BufferPool::new(storage, cfg.pool_pages);
         let root = pool.allocate()?;
         pool.write(root, &SrNode::Data(Vec::new()).encode(dim))?;
         Ok(Self {
@@ -107,8 +109,13 @@ impl<S: Storage> SrTree<S> {
         self.index_cap
     }
 
-    fn read_node(&mut self, pid: PageId) -> IndexResult<SrNode> {
+    fn read_node(&self, pid: PageId) -> IndexResult<SrNode> {
         let buf = self.pool.read(pid)?;
+        Ok(SrNode::decode(&buf, self.dim)?)
+    }
+
+    fn read_node_tracked(&self, pid: PageId, io: &mut IoStats) -> IndexResult<SrNode> {
+        let buf = self.pool.read_tracked(pid, io)?;
         Ok(SrNode::decode(&buf, self.dim)?)
     }
 
@@ -131,7 +138,11 @@ impl<S: Storage> SrTree<S> {
         let centroid = Point::new(
             (0..self.dim)
                 .map(|d| {
-                    (entries.iter().map(|(p, _)| f64::from(p.coord(d))).sum::<f64>() / n) as f32
+                    (entries
+                        .iter()
+                        .map(|(p, _)| f64::from(p.coord(d)))
+                        .sum::<f64>()
+                        / n) as f32
                 })
                 .collect(),
         );
@@ -218,9 +229,8 @@ impl<S: Storage> SrTree<S> {
                     .enumerate()
                     .map(|(i, e)| (i, L2.distance(&e.centroid, p)))
                     .min_by(|a, b| {
-                        a.1.total_cmp(&b.1).then(
-                            entries[a.0].radius.total_cmp(&entries[b.0].radius),
-                        )
+                        a.1.total_cmp(&b.1)
+                            .then(entries[a.0].radius.total_cmp(&entries[b.0].radius))
                     })
                     .expect("index node with no entries");
                 let child = entries[best].pid;
@@ -491,7 +501,10 @@ impl PartialOrd for PqNode {
 }
 impl Ord for PqNode {
     fn cmp(&self, other: &Self) -> Ordering {
-        other.dist.total_cmp(&self.dist).then(other.pid.cmp(&self.pid))
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then(other.pid.cmp(&self.pid))
     }
 }
 
@@ -512,7 +525,9 @@ impl PartialOrd for HeapHit {
 }
 impl Ord for HeapHit {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.dist.total_cmp(&other.dist).then(self.oid.cmp(&other.oid))
+        self.dist
+            .total_cmp(&other.dist)
+            .then(self.oid.cmp(&other.oid))
     }
 }
 
@@ -565,15 +580,16 @@ impl<S: Storage> MultidimIndex for SrTree<S> {
         }
     }
 
-    fn box_query(&mut self, rect: &Rect) -> IndexResult<Vec<u64>> {
+    fn box_query_counted(&self, rect: &Rect) -> IndexResult<(Vec<u64>, IoStats)> {
         check_dim(self.dim, rect.dim())?;
+        let mut io = IoStats::default();
         if self.len == 0 {
-            return Ok(Vec::new());
+            return Ok((Vec::new(), io));
         }
         let mut out = Vec::new();
         let mut stack = vec![self.root];
         while let Some(pid) = stack.pop() {
-            match self.read_node(pid)? {
+            match self.read_node_tracked(pid, &mut io)? {
                 SrNode::Data(entries) => out.extend(
                     entries
                         .iter()
@@ -590,23 +606,24 @@ impl<S: Storage> MultidimIndex for SrTree<S> {
                 }
             }
         }
-        Ok(out)
+        Ok((out, io))
     }
 
-    fn distance_range(
-        &mut self,
+    fn distance_range_counted(
+        &self,
         q: &Point,
         radius: f64,
         metric: &dyn Metric,
-    ) -> IndexResult<Vec<u64>> {
+    ) -> IndexResult<(Vec<u64>, IoStats)> {
         check_dim(self.dim, q.dim())?;
+        let mut io = IoStats::default();
         if self.len == 0 {
-            return Ok(Vec::new());
+            return Ok((Vec::new(), io));
         }
         let mut out = Vec::new();
         let mut stack = vec![self.root];
         while let Some(pid) = stack.pop() {
-            match self.read_node(pid)? {
+            match self.read_node_tracked(pid, &mut io)? {
                 SrNode::Data(entries) => out.extend(
                     entries
                         .iter()
@@ -622,13 +639,19 @@ impl<S: Storage> MultidimIndex for SrTree<S> {
                 }
             }
         }
-        Ok(out)
+        Ok((out, io))
     }
 
-    fn knn(&mut self, q: &Point, k: usize, metric: &dyn Metric) -> IndexResult<Vec<(u64, f64)>> {
+    fn knn_counted(
+        &self,
+        q: &Point,
+        k: usize,
+        metric: &dyn Metric,
+    ) -> IndexResult<(Vec<(u64, f64)>, IoStats)> {
         check_dim(self.dim, q.dim())?;
+        let mut io = IoStats::default();
         if k == 0 || self.len == 0 {
-            return Ok(Vec::new());
+            return Ok((Vec::new(), io));
         }
         let mut pq = BinaryHeap::new();
         let mut best: BinaryHeap<HeapHit> = BinaryHeap::new();
@@ -640,7 +663,7 @@ impl<S: Storage> MultidimIndex for SrTree<S> {
             if best.len() == k && item.dist > best.peek().unwrap().dist {
                 break;
             }
-            match self.read_node(item.pid)? {
+            match self.read_node_tracked(item.pid, &mut io)? {
                 SrNode::Data(entries) => {
                     for (p, oid) in entries {
                         let d = metric.distance(q, &p);
@@ -656,7 +679,10 @@ impl<S: Storage> MultidimIndex for SrTree<S> {
                     for e in &entries {
                         let d = self.min_dist_entry(q, e, metric);
                         if best.len() < k || d <= best.peek().unwrap().dist {
-                            pq.push(PqNode { dist: d, pid: e.pid });
+                            pq.push(PqNode {
+                                dist: d,
+                                pid: e.pid,
+                            });
                         }
                     }
                 }
@@ -664,18 +690,18 @@ impl<S: Storage> MultidimIndex for SrTree<S> {
         }
         let mut hits: Vec<(u64, f64)> = best.into_iter().map(|h| (h.oid, h.dist)).collect();
         hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-        Ok(hits)
+        Ok((hits, io))
     }
 
     fn io_stats(&self) -> IoStats {
         self.pool.stats()
     }
 
-    fn reset_io_stats(&mut self) {
+    fn reset_io_stats(&self) {
         self.pool.reset_stats();
     }
 
-    fn structure_stats(&mut self) -> IndexResult<StructureStats> {
+    fn structure_stats(&self) -> IndexResult<StructureStats> {
         let mut st = StructureStats {
             height: self.height,
             ..StructureStats::default()
@@ -751,7 +777,7 @@ mod tests {
     #[test]
     fn box_query_matches_brute_force() {
         let pts = points(600, 3, 1);
-        let mut t = build(&pts);
+        let t = build(&pts);
         assert!(t.height() > 1);
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..30 {
@@ -774,7 +800,7 @@ mod tests {
     #[test]
     fn knn_matches_brute_force_multiple_metrics() {
         let pts = points(400, 4, 3);
-        let mut t = build(&pts);
+        let t = build(&pts);
         let mut rng = StdRng::seed_from_u64(4);
         for _ in 0..15 {
             let q = Point::new((0..4).map(|_| rng.gen::<f32>()).collect());
@@ -798,7 +824,7 @@ mod tests {
     fn distance_range_l1_matches_brute_force() {
         // The paper's Fig 7(c,d) setting: L1 queries over an SR-tree.
         let pts = points(500, 4, 5);
-        let mut t = build(&pts);
+        let t = build(&pts);
         let q = Point::new(vec![0.5; 4]);
         let mut got = t.distance_range(&q, 0.6, &L1).unwrap();
         got.sort_unstable();
@@ -849,10 +875,7 @@ mod tests {
         assert!(t.is_empty());
         t.insert(Point::new(vec![0.5, 0.5]), 9).unwrap();
         assert_eq!(t.len(), 1);
-        assert_eq!(
-            t.box_query(&Rect::unit(2)).unwrap(),
-            vec![9]
-        );
+        assert_eq!(t.box_query(&Rect::unit(2)).unwrap(), vec![9]);
     }
 
     #[test]
@@ -860,7 +883,7 @@ mod tests {
         // Build and check that no query ever misses results when pruning
         // with the combined bound, under a non-L2 metric.
         let pts = points(300, 3, 9);
-        let mut t = build(&pts);
+        let t = build(&pts);
         let q = Point::new(vec![0.1, 0.9, 0.5]);
         let got = t.distance_range(&q, 0.8, &L1).unwrap();
         let want = pts.iter().filter(|p| L1.distance(&q, p) <= 0.8).count();

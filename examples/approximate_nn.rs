@@ -24,7 +24,10 @@ fn main() -> Result<(), IndexError> {
     tree.reset_io_stats();
     let exact = tree.knn(&q, 10, &L2)?;
     let exact_io = tree.io_stats().logical_reads;
-    println!("exact 10-NN: {exact_io} page reads; k-th distance {:.5}", exact[9].1);
+    println!(
+        "exact 10-NN: {exact_io} page reads; k-th distance {:.5}",
+        exact[9].1
+    );
 
     // (1+eps)-approximate kNN: fewer reads, bounded error.
     for eps in [0.2, 1.0, 3.0] {

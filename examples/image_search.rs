@@ -50,11 +50,8 @@ fn main() -> Result<(), IndexError> {
         .collect();
     let weights: Vec<f64> = (0..BINS)
         .map(|d| {
-            let mean: f64 = relevant
-                .iter()
-                .map(|p| f64::from(p.coord(d)))
-                .sum::<f64>()
-                / relevant.len() as f64;
+            let mean: f64 =
+                relevant.iter().map(|p| f64::from(p.coord(d))).sum::<f64>() / relevant.len() as f64;
             let var: f64 = relevant
                 .iter()
                 .map(|p| {

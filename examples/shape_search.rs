@@ -22,7 +22,10 @@ fn main() -> Result<(), IndexError> {
         tree.insert(s.clone(), oid as u64)?;
         scan.insert(s.clone(), oid as u64)?;
     }
-    println!("indexed {} shapes ({DIM}-d Fourier descriptors)", tree.len());
+    println!(
+        "indexed {} shapes ({DIM}-d Fourier descriptors)",
+        tree.len()
+    );
 
     // Range search: all shapes within L2 distance 0.05 of a probe shape.
     let probe = shapes[777].clone();

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, lints, and the full test suite.
+# Run from the repository root before sending a change for review.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "tier-1 green"

@@ -7,6 +7,7 @@
 //! hyt knn      --index db.pages --meta db.meta --query 0.1,0.2,... --k 5 --metric l1
 //! hyt range    --index db.pages --meta db.meta --query 0.1,0.2,... --radius 0.4
 //! hyt box      --index db.pages --meta db.meta --lo 0.1,0.1 --hi 0.4,0.4
+//! hyt batch    --index db.pages --meta db.meta --queries batch.txt --threads 4
 //! ```
 //!
 //! Vectors are CSV lines of `f32`; the object id is the 0-based line
@@ -16,6 +17,7 @@
 
 use hybridtree_repro::core::{HybridTree, HybridTreeConfig};
 use hybridtree_repro::data::{colhist, fourier, uniform};
+use hybridtree_repro::eval::{run_batch_parallel, total_io, BatchQuery};
 use hybridtree_repro::geom::{Chebyshev, Lp, Metric, Point, Rect, L1, L2};
 use hybridtree_repro::index::MultidimIndex;
 use hybridtree_repro::page::FileStorage;
@@ -43,7 +45,9 @@ const USAGE: &str = "usage:
   hyt knn      --index PAGES --meta META --query V [--k 10] [--metric l2]
   hyt range    --index PAGES --meta META --query V --radius R [--metric l2]
   hyt box      --index PAGES --meta META --lo V --hi V
-metrics: l1, l2, linf, lp:<p>     V: comma-separated f32 coordinates";
+  hyt batch    --index PAGES --meta META --queries FILE [--threads N] [--metric l2]
+metrics: l1, l2, linf, lp:<p>     V: comma-separated f32 coordinates
+batch file: one query per line — `box LO HI` | `range CENTER R` | `knn CENTER K`";
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some((cmd, rest)) = args.split_first() else {
@@ -57,6 +61,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "knn" => knn(&opts),
         "range" => range(&opts),
         "box" => box_query(&opts),
+        "batch" => batch(&opts),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -99,7 +104,11 @@ fn opt_parse<T: std::str::FromStr>(
 
 fn parse_vector(s: &str) -> Result<Vec<f32>, String> {
     s.split(',')
-        .map(|t| t.trim().parse().map_err(|_| format!("bad coordinate `{t}`")))
+        .map(|t| {
+            t.trim()
+                .parse()
+                .map_err(|_| format!("bad coordinate `{t}`"))
+        })
         .collect()
 }
 
@@ -152,8 +161,7 @@ fn load_csv(path: &str) -> Result<Vec<Point>, String> {
         if line.trim().is_empty() {
             continue;
         }
-        let coords =
-            parse_vector(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        let coords = parse_vector(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
         out.push(Point::new(coords));
     }
     if out.is_empty() {
@@ -217,21 +225,34 @@ fn open_tree(opts: &HashMap<String, String>) -> Result<HybridTree<FileStorage>, 
 }
 
 fn stats(opts: &HashMap<String, String>) -> Result<(), String> {
-    let mut tree = open_tree(opts)?;
+    let tree = open_tree(opts)?;
     let st = tree.structure_stats().map_err(|e| e.to_string())?;
     println!("entries            {}", tree.len());
     println!("dimensionality     {}", tree.dim());
     println!("height             {}", st.height);
-    println!("pages              {} ({} index, {} data)", st.total_nodes, st.index_nodes, st.data_nodes);
+    println!(
+        "pages              {} ({} index, {} data)",
+        st.total_nodes, st.index_nodes, st.data_nodes
+    );
     println!("avg fanout         {:.1}", st.avg_fanout);
     println!("leaf utilization   {:.0}%", st.avg_leaf_utilization * 100.0);
     println!("overlap fraction   {:.5}", st.avg_overlap_fraction);
-    println!("split dims used    {} of {}", st.distinct_split_dims, tree.dim());
-    println!("ELS overhead       {} bytes in memory", tree.els_overhead_bytes());
+    println!(
+        "split dims used    {} of {}",
+        st.distinct_split_dims,
+        tree.dim()
+    );
+    println!(
+        "ELS overhead       {} bytes in memory",
+        tree.els_overhead_bytes()
+    );
     Ok(())
 }
 
-fn query_point(opts: &HashMap<String, String>, tree: &HybridTree<FileStorage>) -> Result<Point, String> {
+fn query_point(
+    opts: &HashMap<String, String>,
+    tree: &HybridTree<FileStorage>,
+) -> Result<Point, String> {
     let q = parse_vector(req(opts, "query")?)?;
     if q.len() != tree.dim() {
         return Err(format!(
@@ -244,12 +265,14 @@ fn query_point(opts: &HashMap<String, String>, tree: &HybridTree<FileStorage>) -
 }
 
 fn knn(opts: &HashMap<String, String>) -> Result<(), String> {
-    let mut tree = open_tree(opts)?;
+    let tree = open_tree(opts)?;
     let q = query_point(opts, &tree)?;
     let k: usize = opt_parse(opts, "k", 10)?;
     let metric = parse_metric(opts.get("metric").map(String::as_str).unwrap_or("l2"))?;
     tree.reset_io_stats();
-    let hits = tree.knn(&q, k, metric.as_ref()).map_err(|e| e.to_string())?;
+    let hits = tree
+        .knn(&q, k, metric.as_ref())
+        .map_err(|e| e.to_string())?;
     for (oid, d) in &hits {
         println!("{oid}\t{d:.6}");
     }
@@ -258,7 +281,7 @@ fn knn(opts: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn range(opts: &HashMap<String, String>) -> Result<(), String> {
-    let mut tree = open_tree(opts)?;
+    let tree = open_tree(opts)?;
     let q = query_point(opts, &tree)?;
     let radius: f64 = req(opts, "radius")?.parse().map_err(|_| "bad --radius")?;
     let metric = parse_metric(opts.get("metric").map(String::as_str).unwrap_or("l2"))?;
@@ -278,8 +301,101 @@ fn range(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses one batch-file line into a query against a `dim`-d index.
+fn parse_batch_line(line: &str, dim: usize) -> Result<BatchQuery, String> {
+    let mut parts = line.split_whitespace();
+    let kind = parts.next().ok_or("empty query line")?;
+    let q = match kind {
+        "box" => {
+            let lo = parse_vector(parts.next().ok_or("box needs LO and HI")?)?;
+            let hi = parse_vector(parts.next().ok_or("box needs LO and HI")?)?;
+            if lo.len() != dim || hi.len() != dim {
+                return Err(format!("box corners must have {dim} coordinates"));
+            }
+            if lo.iter().zip(&hi).any(|(l, h)| l > h) {
+                return Err("box LO must be <= HI in every dimension".into());
+            }
+            BatchQuery::Box(Rect::new(lo, hi))
+        }
+        "range" => {
+            let c = parse_vector(parts.next().ok_or("range needs CENTER and R")?)?;
+            let r: f64 = parts
+                .next()
+                .ok_or("range needs CENTER and R")?
+                .parse()
+                .map_err(|_| "bad range radius")?;
+            if c.len() != dim {
+                return Err(format!("range center must have {dim} coordinates"));
+            }
+            BatchQuery::Distance(Point::new(c), r)
+        }
+        "knn" => {
+            let c = parse_vector(parts.next().ok_or("knn needs CENTER and K")?)?;
+            let k: usize = parts
+                .next()
+                .ok_or("knn needs CENTER and K")?
+                .parse()
+                .map_err(|_| "bad knn k")?;
+            if c.len() != dim {
+                return Err(format!("knn center must have {dim} coordinates"));
+            }
+            BatchQuery::Knn(Point::new(c), k)
+        }
+        other => return Err(format!("unknown query kind `{other}`")),
+    };
+    if parts.next().is_some() {
+        return Err("trailing tokens after query".into());
+    }
+    Ok(q)
+}
+
+fn batch(opts: &HashMap<String, String>) -> Result<(), String> {
+    let tree = open_tree(opts)?;
+    let path = req(opts, "queries")?;
+    let threads: usize = opt_parse(opts, "threads", 1)?;
+    if threads == 0 {
+        return Err("--threads must be >= 1".into());
+    }
+    let metric = parse_metric(opts.get("metric").map(String::as_str).unwrap_or("l2"))?;
+    let body = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let mut queries = Vec::new();
+    for (i, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        queries.push(
+            parse_batch_line(line, tree.dim()).map_err(|e| format!("{path}:{}: {e}", i + 1))?,
+        );
+    }
+    if queries.is_empty() {
+        return Err(format!("{path} holds no queries"));
+    }
+    let start = std::time::Instant::now();
+    let answers =
+        run_batch_parallel(&tree, metric.as_ref(), &queries, threads).map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed();
+    for (i, a) in answers.iter().enumerate() {
+        println!(
+            "#{i}\t{} results\t{} page reads",
+            a.oids.len(),
+            a.io.logical_reads
+        );
+    }
+    let total = total_io(&answers);
+    eprintln!(
+        "[{} queries on {} thread(s) in {:.3}s — {} page reads, {:.1} weighted accesses]",
+        answers.len(),
+        threads,
+        elapsed.as_secs_f64(),
+        total.logical_reads,
+        total.weighted_accesses(),
+    );
+    Ok(())
+}
+
 fn box_query(opts: &HashMap<String, String>) -> Result<(), String> {
-    let mut tree = open_tree(opts)?;
+    let tree = open_tree(opts)?;
     let lo = parse_vector(req(opts, "lo")?)?;
     let hi = parse_vector(req(opts, "hi")?)?;
     if lo.len() != tree.dim() || hi.len() != tree.dim() {

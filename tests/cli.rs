@@ -25,13 +25,16 @@ fn generate_build_query_pipeline() {
     // 1. generate
     let out = hyt()
         .args([
-            "generate", "--kind", "uniform", "--n", "2000", "--dim", "4", "--seed", "7",
-            "--out",
+            "generate", "--kind", "uniform", "--n", "2000", "--dim", "4", "--seed", "7", "--out",
         ])
         .arg(&csv)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // 2. build (bulk path)
     let out = hyt()
@@ -44,7 +47,11 @@ fn generate_build_query_pipeline() {
         .args(["--bulk"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("built 2000 entries"));
 
     // 3. stats on the persisted index (separate process)
@@ -71,7 +78,9 @@ fn generate_build_query_pipeline() {
     let mut want: Vec<u64> = vectors
         .iter()
         .enumerate()
-        .filter(|(_, v)| v.iter().zip(&lo).all(|(x, l)| x >= l) && v.iter().zip(&hi).all(|(x, h)| x <= h))
+        .filter(|(_, v)| {
+            v.iter().zip(&lo).all(|(x, l)| x >= l) && v.iter().zip(&hi).all(|(x, h)| x <= h)
+        })
         .map(|(i, _)| i as u64)
         .collect();
     want.sort_unstable();
@@ -83,7 +92,11 @@ fn generate_build_query_pipeline() {
         .args(["--lo", "0.2,0.2,0.2,0.2", "--hi", "0.6,0.7,0.8,0.9"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let got: Vec<u64> = String::from_utf8_lossy(&out.stdout)
         .lines()
         .map(|l| l.trim().parse().unwrap())
@@ -101,8 +114,15 @@ fn generate_build_query_pipeline() {
         .output()
         .unwrap();
     assert!(out.status.success());
-    let line = String::from_utf8_lossy(&out.stdout).lines().next().unwrap().to_string();
-    assert!(line.starts_with("42\t"), "expected oid 42 first, got {line}");
+    let line = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .next()
+        .unwrap()
+        .to_string();
+    assert!(
+        line.starts_with("42\t"),
+        "expected oid 42 first, got {line}"
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -119,7 +139,17 @@ fn cli_reports_usage_on_bad_input() {
     assert!(!out.status.success());
 
     let out = hyt()
-        .args(["generate", "--kind", "nope", "--n", "5", "--dim", "2", "--out", "/dev/null"])
+        .args([
+            "generate",
+            "--kind",
+            "nope",
+            "--n",
+            "5",
+            "--dim",
+            "2",
+            "--out",
+            "/dev/null",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());

@@ -1,0 +1,124 @@
+//! Concurrency smoke tests: a built index shared across threads must
+//! answer every query identically to a serial run, and per-query I/O
+//! attribution must be schedule-independent.
+
+use hybridtree_repro::eval::{
+    build_engine, run_batch, run_batch_parallel, total_io, BatchQuery, Engine,
+};
+use hybridtree_repro::prelude::*;
+use std::sync::Arc;
+
+fn build_points(n: usize, dim: usize, seed: u64) -> Vec<Point> {
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new((0..dim).map(|_| rng.gen::<f32>()).collect()))
+        .collect()
+}
+
+fn mixed_queries(data: &[Point], n: usize) -> Vec<BatchQuery> {
+    data.iter()
+        .take(n)
+        .enumerate()
+        .map(|(i, p)| match i % 3 {
+            0 => {
+                let lo: Vec<f32> = p.coords().iter().map(|c| (c - 0.2).max(0.0)).collect();
+                let hi: Vec<f32> = p.coords().iter().map(|c| (c + 0.2).min(1.0)).collect();
+                BatchQuery::Box(Rect::new(lo, hi))
+            }
+            1 => BatchQuery::Distance(p.clone(), 0.35),
+            _ => BatchQuery::Knn(p.clone(), 7),
+        })
+        .collect()
+}
+
+/// N worker threads × M queries each over one shared tree: every answer
+/// and every per-query logical-read count must equal the serial run's,
+/// and the summed per-query I/O must match on the schedule-independent
+/// counters.
+#[test]
+fn parallel_batches_match_serial_across_engines() {
+    let data = build_points(4000, 6, 1);
+    for engine in [Engine::Hybrid, Engine::Sr, Engine::Kdb, Engine::Scan] {
+        let (idx, _) = build_engine(engine, &data).unwrap();
+        let queries = mixed_queries(&data, 24);
+        let serial = run_batch(idx.as_ref(), &L1, &queries).unwrap();
+        for threads in [2, 4, 8] {
+            let parallel = run_batch_parallel(idx.as_ref(), &L1, &queries, threads).unwrap();
+            assert_eq!(
+                serial, parallel,
+                "{engine:?} parallel batch at {threads} threads differs from serial"
+            );
+            let s = total_io(&serial);
+            let p = total_io(&parallel);
+            assert_eq!(
+                s.logical_reads, p.logical_reads,
+                "{engine:?} summed reads differ"
+            );
+            assert_eq!(
+                s.seq_reads, p.seq_reads,
+                "{engine:?} summed seq reads differ"
+            );
+        }
+    }
+}
+
+/// Raw `std::thread` sharing (no runner): concurrent queries straight on
+/// a `HybridTree` behind an `Arc`, interleaved with a nearest-neighbor
+/// cursor, all agreeing with the single-threaded answers.
+#[test]
+fn hybrid_tree_is_shareable_across_threads() {
+    let data = build_points(3000, 4, 2);
+    let mut tree = HybridTree::new(4, HybridTreeConfig::default()).unwrap();
+    for (i, p) in data.iter().enumerate() {
+        tree.insert(p.clone(), i as u64).unwrap();
+    }
+    let tree = Arc::new(tree);
+    let centers: Vec<Point> = data.iter().step_by(300).cloned().collect();
+    let expected: Vec<Vec<(u64, f64)>> = centers
+        .iter()
+        .map(|c| tree.knn(c, 5, &L2).unwrap())
+        .collect();
+
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let tree = Arc::clone(&tree);
+        let centers = centers.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut answers = Vec::new();
+            for c in &centers {
+                answers.push(tree.knn(c, 5, &L2).unwrap());
+            }
+            // A streaming cursor shares the tree with the other threads.
+            let mut iter = tree.nearest_iter(&centers[0], &L2).unwrap();
+            let first = iter.next().unwrap().unwrap();
+            (answers, first)
+        }));
+    }
+    for h in handles {
+        let (answers, first) = h.join().unwrap();
+        assert_eq!(answers, expected);
+        assert_eq!(first.0, expected[0][0].0);
+        assert!((first.1 - expected[0][0].1).abs() < 1e-12);
+    }
+}
+
+/// Per-query `logical_reads` summed over a parallel run equals the
+/// pool-global counter delta: nothing double-counted, nothing dropped.
+#[test]
+fn per_query_io_sums_to_global_counters() {
+    let data = build_points(5000, 5, 3);
+    let mut tree = HybridTree::new(5, HybridTreeConfig::default()).unwrap();
+    for (i, p) in data.iter().enumerate() {
+        tree.insert(p.clone(), i as u64).unwrap();
+    }
+    let queries = mixed_queries(&data, 32);
+    tree.reset_io_stats();
+    let answers = run_batch_parallel(&tree, &L1, &queries, 4).unwrap();
+    let per_query = total_io(&answers);
+    let global = tree.io_stats();
+    assert_eq!(per_query.logical_reads, global.logical_reads);
+    assert_eq!(per_query.seq_reads, global.seq_reads);
+    assert!(per_query.logical_reads > 0);
+}

@@ -57,7 +57,7 @@ fn box_queries_agree_with_brute_force_on_all_engines() {
         let queries = query_boxes(&data, 12, 21);
         let expected: Vec<Vec<u64>> = queries.iter().map(|q| brute_box(&data, q)).collect();
         for engine in ENGINES {
-            let (mut idx, _) = build_engine(engine, &data).unwrap();
+            let (idx, _) = build_engine(engine, &data).unwrap();
             for (q, want) in queries.iter().zip(&expected) {
                 let mut got = idx.box_query(q).unwrap();
                 got.sort_unstable();
@@ -76,7 +76,7 @@ fn distance_queries_agree_where_supported() {
             .map(|_| data[rng.gen_range(0..data.len())].clone())
             .collect();
         for engine in [Engine::Hybrid, Engine::Sr, Engine::Kdb, Engine::Scan] {
-            let (mut idx, _) = build_engine(engine, &data).unwrap();
+            let (idx, _) = build_engine(engine, &data).unwrap();
             for metric in [&L1 as &dyn Metric, &L2] {
                 for c in &centers {
                     let radius = 0.2 * (dim as f64).sqrt() * 0.3;
@@ -110,7 +110,7 @@ fn knn_distances_agree_where_supported() {
         let mut want: Vec<f64> = data.iter().map(|p| L2.distance(&q, p)).collect();
         want.sort_by(f64::total_cmp);
         for engine in [Engine::Hybrid, Engine::Sr, Engine::Kdb, Engine::Scan] {
-            let (mut idx, _) = build_engine(engine, &data).unwrap();
+            let (idx, _) = build_engine(engine, &data).unwrap();
             let got = idx.knn(&q, 15, &L2).unwrap();
             assert_eq!(got.len(), 15);
             for (i, (_, d)) in got.iter().enumerate() {
@@ -145,7 +145,11 @@ fn deletes_are_respected_by_all_engines() {
         let (mut idx, _) = build_engine(engine, &data).unwrap();
         for (i, p) in data.iter().enumerate() {
             if dead[i] {
-                assert!(idx.delete(p, i as u64).unwrap(), "{}: delete {i}", engine.name());
+                assert!(
+                    idx.delete(p, i as u64).unwrap(),
+                    "{}: delete {i}",
+                    engine.name()
+                );
             }
         }
         assert_eq!(idx.len(), data.len() - dead.iter().filter(|d| **d).count());
@@ -172,9 +176,13 @@ fn dimension_mismatch_rejected_everywhere() {
 fn empty_query_results_are_empty_not_errors() {
     let data = uniform(300, 3, 71);
     for engine in ENGINES {
-        let (mut idx, _) = build_engine(engine, &data).unwrap();
+        let (idx, _) = build_engine(engine, &data).unwrap();
         // A window far outside the data.
         let rect = Rect::new(vec![5.0; 3], vec![6.0; 3]);
-        assert!(idx.box_query(&rect).unwrap().is_empty(), "{}", engine.name());
+        assert!(
+            idx.box_query(&rect).unwrap().is_empty(),
+            "{}",
+            engine.name()
+        );
     }
 }

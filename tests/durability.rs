@@ -55,7 +55,7 @@ fn raw_pages_survive_reopen() {
         s.sync().unwrap();
     }
     {
-        let mut s = FileStorage::open(&path, page_size).unwrap();
+        let s = FileStorage::open(&path, page_size).unwrap();
         assert_eq!(s.live_pages(), 20);
         let mut buf = vec![0u8; page_size];
         for i in 0..20u8 {

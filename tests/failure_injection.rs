@@ -3,24 +3,42 @@
 
 use hybridtree_repro::page::{PageError, PageId, PageResult, Storage};
 use hybridtree_repro::prelude::*;
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Remote control for a [`FlakyStorage`]: `u64::MAX` means "never fail";
+/// any other value is the number of further reads allowed before faults.
+struct FailKnob(AtomicU64);
+
+impl FailKnob {
+    fn set(&self, limit: Option<u64>) {
+        self.0.store(limit.unwrap_or(u64::MAX), Ordering::SeqCst);
+    }
+
+    fn get(&self) -> Option<u64> {
+        match self.0.load(Ordering::SeqCst) {
+            u64::MAX => None,
+            n => Some(n),
+        }
+    }
+}
 
 /// A wrapper storage that starts failing reads/writes on command.
+/// `Storage` is `Send + Sync`, so the knob and counter are atomics.
 struct FlakyStorage<S: Storage> {
     inner: S,
-    fail_reads_after: Rc<Cell<Option<u64>>>,
-    reads: Cell<u64>,
+    fail_reads_after: Arc<FailKnob>,
+    reads: AtomicU64,
 }
 
 impl<S: Storage> FlakyStorage<S> {
-    fn new(inner: S) -> (Self, Rc<Cell<Option<u64>>>) {
-        let knob = Rc::new(Cell::new(None));
+    fn new(inner: S) -> (Self, Arc<FailKnob>) {
+        let knob = Arc::new(FailKnob(AtomicU64::new(u64::MAX)));
         (
             Self {
                 inner,
-                fail_reads_after: Rc::clone(&knob),
-                reads: Cell::new(0),
+                fail_reads_after: Arc::clone(&knob),
+                reads: AtomicU64::new(0),
             },
             knob,
         )
@@ -36,13 +54,11 @@ impl<S: Storage> Storage for FlakyStorage<S> {
         self.inner.allocate()
     }
 
-    fn read(&mut self, id: PageId, buf: &mut [u8]) -> PageResult<()> {
-        self.reads.set(self.reads.get() + 1);
+    fn read(&self, id: PageId, buf: &mut [u8]) -> PageResult<()> {
+        let done = self.reads.fetch_add(1, Ordering::SeqCst) + 1;
         if let Some(limit) = self.fail_reads_after.get() {
-            if self.reads.get() > limit {
-                return Err(PageError::Io(std::io::Error::other(
-                    "injected read fault",
-                )));
+            if done > limit {
+                return Err(PageError::Io(std::io::Error::other("injected read fault")));
             }
         }
         self.inner.read(id, buf)

@@ -85,8 +85,7 @@ fn run_ops(dim: usize, ops: Vec<Op>, cfg: HybridTreeConfig) {
                 let q = Point::new(center);
                 let got = tree.knn(&q, k, &L2).unwrap();
                 assert_eq!(got.len(), k.min(oracle.len()));
-                let mut want: Vec<f64> =
-                    oracle.iter().map(|(p, _)| L2.distance(&q, p)).collect();
+                let mut want: Vec<f64> = oracle.iter().map(|(p, _)| L2.distance(&q, p)).collect();
                 want.sort_by(f64::total_cmp);
                 for (i, (_, d)) in got.iter().enumerate() {
                     assert!(

@@ -3,9 +3,7 @@
 //! and the datasets must have the statistical shape the experiments
 //! assume.
 
-use hybridtree_repro::data::{
-    calibrate_box_side, colhist, fourier, BoxWorkload, DistanceWorkload,
-};
+use hybridtree_repro::data::{calibrate_box_side, colhist, fourier, BoxWorkload, DistanceWorkload};
 use hybridtree_repro::prelude::*;
 
 #[test]
