@@ -286,8 +286,18 @@ impl ElsTable {
             )));
         }
         let dim = r.get_u32()? as usize;
+        if dim == 0 || dim > u16::MAX as usize {
+            return Err(hyt_page::PageError::Corrupt(format!(
+                "ELS dimensionality {dim} out of range"
+            )));
+        }
         let n = r.get_u32()? as usize;
-        if n * dim * 16 > r.remaining() {
+        // Checked: a hostile header must not overflow the size estimate.
+        let need = n
+            .checked_mul(dim)
+            .and_then(|v| v.checked_mul(16))
+            .filter(|&need| need <= r.remaining());
+        if need.is_none() {
             return Err(hyt_page::PageError::Corrupt(
                 "ELS table claims more entries than the buffer holds".into(),
             ));

@@ -58,6 +58,7 @@ mod iter;
 mod kdtree;
 mod node;
 mod persist;
+mod scrub;
 mod split;
 mod stats;
 mod tree;
@@ -69,6 +70,7 @@ pub use els::ElsTable;
 pub use iter::NearestIter;
 pub use kdtree::KdTree;
 pub use node::{DataEntry, Node};
+pub use scrub::{scrub_index, scrub_pages, CatalogScrub, PageDamage, ScrubReport};
 pub use split::{bipartition_1d, Bipartition};
 pub use tree::HybridTree;
 pub use view::{DataView, KdView, NodeView};

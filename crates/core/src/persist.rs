@@ -1,22 +1,61 @@
 //! Durable open/close: a hybrid tree over a page file can be persisted
-//! and reopened in another process.
+//! and reopened in another process, surviving crashes at any point.
 //!
-//! Pages already live in the [`FileStorage`](hyt_page::FileStorage); what
-//! survives here is the *catalog*: root page, height, entry count,
-//! configuration, the data-space bounding box, and the memory-resident
-//! ELS table (the paper keeps ELS in memory; on shutdown it must go
-//! somewhere, and rebuilding it would cost a full scan). The catalog is
-//! written as a small sidecar file next to the page file.
+//! Pages live in a checksummed page file
+//! ([`DurableStorage`](hyt_page::DurableStorage)); what survives here is
+//! the *catalog*: root page, height, entry count, configuration, the
+//! data-space bounding box, the storage write epoch, and the
+//! memory-resident ELS table (the paper keeps ELS in memory; on shutdown
+//! it must go somewhere, and rebuilding it costs a tree walk). The catalog
+//! is a small sidecar file next to the page file.
+//!
+//! ## Commit protocol
+//!
+//! [`HybridTree::persist`] is the durability point:
+//!
+//! 1. flush every dirty page and `fsync` the page file;
+//! 2. write the catalog — two independently CRC-32-protected sections
+//!    (core, ELS) — to a temp file, `fsync` it, `rename` it over the old
+//!    catalog, and `fsync` the directory;
+//! 3. advance the storage write epoch, so every page flushed *after* this
+//!    commit carries a newer epoch than the catalog records.
+//!
+//! A crash before the rename leaves the previous catalog intact; a crash
+//! after it leaves the new one. Either way the catalog on disk is a
+//! complete, checksummed snapshot that matches a page-file state that was
+//! fsynced before it.
+//!
+//! ## Open and recovery
+//!
+//! [`HybridTree::open`] validates the catalog magic and both section CRCs,
+//! then opens the page file (which rebuilds the free list and the newest
+//! live epoch from the page frame headers). If the ELS section is damaged,
+//! or any live page carries an epoch newer than the catalog (proof the
+//! page file diverged after the last commit), or the live-page count
+//! disagrees with the catalog, `open` falls back to a [`recover`] pass:
+//! walk the tree from the catalog root, rebuild the ELS table bottom-up,
+//! re-derive the set of live pages (reclaiming leaked ones), and
+//! cross-check the result against the full structural invariant suite in
+//! `verify.rs`. Recovery either returns a consistent tree or fails with a
+//! typed [`PageError::Corrupt`] — never a panic, never silently wrong
+//! query results.
+//!
+//! [`recover`]: HybridTree::recover
 
 use crate::config::{HybridTreeConfig, QuerySizeDist, SplitPolicy};
 use crate::els::ElsTable;
+use crate::node::Node;
 use crate::tree::HybridTree;
-use hyt_geom::Rect;
+use hyt_geom::{Point, Rect};
 use hyt_index::{IndexError, IndexResult};
-use hyt_page::{BufferPool, ByteReader, ByteWriter, FileStorage, PageError, PageId};
+use hyt_page::{
+    crc32, BufferPool, ByteReader, ByteWriter, DurableStorage, PageError, PageId, Storage,
+};
+use std::collections::HashSet;
+use std::io::Write as _;
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"HYTREE01";
+const MAGIC: &[u8; 8] = b"HYTREE02";
 
 fn encode_cfg(w: &mut ByteWriter, cfg: &HybridTreeConfig) {
     w.put_u32(cfg.page_size as u32);
@@ -68,79 +107,387 @@ fn decode_cfg(r: &mut ByteReader<'_>) -> Result<HybridTreeConfig, PageError> {
     })
 }
 
-impl HybridTree<FileStorage> {
-    /// Flushes all dirty pages and writes the catalog to `meta_path`.
-    ///
-    /// The page file itself is the one the tree was created over; after
-    /// this call, [`open`](Self::open) can restore the tree.
-    pub fn persist<P: AsRef<Path>>(&mut self, meta_path: P) -> IndexResult<()> {
-        self.pool.flush_all()?;
-        let mut w = ByteWriter::new();
-        w.put_bytes(MAGIC);
-        w.put_u32(self.dim as u32);
-        w.put_u64(self.len as u64);
-        w.put_u32(self.root.0);
-        w.put_u32(self.height as u32);
-        encode_cfg(&mut w, &self.cfg);
-        match &self.global_br {
-            Some(br) => {
-                w.put_u8(1);
-                for d in 0..self.dim {
-                    w.put_f32(br.lo(d));
-                }
-                for d in 0..self.dim {
-                    w.put_f32(br.hi(d));
-                }
+/// The fixed-size part of the catalog: everything needed to reopen or
+/// recover a tree except the (rebuildable) ELS table.
+pub(crate) struct CatalogCore {
+    pub dim: usize,
+    pub len: usize,
+    pub root: PageId,
+    pub height: usize,
+    /// Storage write epoch recorded at commit time.
+    pub epoch: u64,
+    /// Live pages in the page file at commit time.
+    pub live_pages: u32,
+    pub cfg: HybridTreeConfig,
+    pub global_br: Option<Rect>,
+}
+
+/// A parsed catalog; `els` is `Err` when only the ELS section failed its
+/// checksum (the core is intact, so recovery can rebuild the table).
+pub(crate) struct Catalog {
+    pub core: CatalogCore,
+    pub els: Result<ElsTable, PageError>,
+}
+
+fn corrupt(msg: impl Into<String>) -> PageError {
+    PageError::Corrupt(msg.into())
+}
+
+fn encode_core(w: &mut ByteWriter, core: &CatalogCore) {
+    w.put_u32(core.dim as u32);
+    w.put_u64(core.len as u64);
+    w.put_u32(core.root.0);
+    w.put_u32(core.height as u32);
+    w.put_u64(core.epoch);
+    w.put_u32(core.live_pages);
+    encode_cfg(w, &core.cfg);
+    match &core.global_br {
+        Some(br) => {
+            w.put_u8(1);
+            for d in 0..core.dim {
+                w.put_f32(br.lo(d));
             }
-            None => w.put_u8(0),
+            for d in 0..core.dim {
+                w.put_f32(br.hi(d));
+            }
         }
-        self.els.encode(&mut w);
-        std::fs::write(meta_path, w.as_slice()).map_err(PageError::Io)?;
+        None => w.put_u8(0),
+    }
+}
+
+fn decode_core(buf: &[u8]) -> Result<CatalogCore, PageError> {
+    let mut r = ByteReader::new(buf);
+    let dim = r.get_u32()? as usize;
+    let len = r.get_u64()? as usize;
+    let root = PageId(r.get_u32()?);
+    let height = r.get_u32()? as usize;
+    let epoch = r.get_u64()?;
+    let live_pages = r.get_u32()?;
+    let cfg = decode_cfg(&mut r)?;
+    let global_br = match r.get_u8()? {
+        0 => None,
+        1 => {
+            let mut lo = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                lo.push(r.get_f32()?);
+            }
+            let mut hi = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                hi.push(r.get_f32()?);
+            }
+            Some(Rect::new(lo, hi))
+        }
+        t => return Err(corrupt(format!("bad bounding-box tag {t}"))),
+    };
+    if dim == 0 || height == 0 {
+        return Err(corrupt(format!(
+            "implausible catalog: dim {dim}, height {height}"
+        )));
+    }
+    Ok(CatalogCore {
+        dim,
+        len,
+        root,
+        height,
+        epoch,
+        live_pages,
+        cfg,
+        global_br,
+    })
+}
+
+/// Serializes the full catalog: magic, then a length-prefixed,
+/// CRC-32-trailed core section, then a likewise-framed ELS section.
+fn encode_catalog(core: &CatalogCore, els: &ElsTable) -> Vec<u8> {
+    let mut core_w = ByteWriter::new();
+    encode_core(&mut core_w, core);
+    let mut els_w = ByteWriter::new();
+    els.encode(&mut els_w);
+
+    let mut w = ByteWriter::new();
+    w.put_bytes(MAGIC);
+    w.put_u32(core_w.len() as u32);
+    w.put_bytes(core_w.as_slice());
+    w.put_u32(crc32(core_w.as_slice()));
+    w.put_u32(els_w.len() as u32);
+    w.put_bytes(els_w.as_slice());
+    w.put_u32(crc32(els_w.as_slice()));
+    w.into_inner()
+}
+
+/// Reads and validates a catalog file. A damaged core section is a hard
+/// error; a damaged ELS section is reported in `Catalog::els` so the
+/// caller can rebuild it.
+pub(crate) fn read_catalog(meta_path: &Path) -> Result<Catalog, PageError> {
+    let buf = std::fs::read(meta_path).map_err(PageError::Io)?;
+    let mut r = ByteReader::new(&buf);
+    let magic = r.get_bytes(8)?;
+    if magic != MAGIC {
+        return Err(corrupt("not a hybrid tree catalog (bad magic)"));
+    }
+    let core_len = r.get_u32()? as usize;
+    let core_bytes = r.get_bytes(core_len)?;
+    let core_crc = r.get_u32()?;
+    if crc32(core_bytes) != core_crc {
+        return Err(corrupt("catalog core section failed its checksum"));
+    }
+    let core = decode_core(core_bytes)?;
+    let els = (|| {
+        let els_len = r.get_u32()? as usize;
+        let els_bytes = r.get_bytes(els_len)?;
+        let els_crc = r.get_u32()?;
+        if crc32(els_bytes) != els_crc {
+            return Err(corrupt("catalog ELS section failed its checksum"));
+        }
+        ElsTable::decode(&mut ByteReader::new(els_bytes))
+    })();
+    Ok(Catalog { core, els })
+}
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory,
+/// `fsync`, `rename`, `fsync` the directory. A crash at any point leaves
+/// either the old file or the new one, never a torn mix.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp_name);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    #[cfg(unix)]
+    {
+        // Make the rename itself durable: fsync the containing directory.
+        let dir = match path.parent() {
+            Some(d) if !d.as_os_str().is_empty() => d,
+            _ => Path::new("."),
+        };
+        std::fs::File::open(dir)?.sync_all()?;
+    }
+    Ok(())
+}
+
+impl<S: Storage> HybridTree<S> {
+    /// Commits the tree: flushes and fsyncs every dirty page, then
+    /// atomically replaces the catalog at `meta_path` (see the module docs
+    /// for the protocol). After this call, [`HybridTree::open`] restores
+    /// exactly this state even if the process dies immediately.
+    pub fn persist<P: AsRef<Path>>(&mut self, meta_path: P) -> IndexResult<()> {
+        self.pool.sync_storage()?;
+        let core = CatalogCore {
+            dim: self.dim,
+            len: self.len,
+            root: self.root,
+            height: self.height,
+            epoch: self.pool.with_storage(|s| s.epoch()),
+            live_pages: self.pool.live_pages() as u32,
+            cfg: self.cfg.clone(),
+            global_br: self.global_br.clone(),
+        };
+        let bytes = encode_catalog(&core, &self.els);
+        write_atomic(meta_path.as_ref(), &bytes).map_err(PageError::Io)?;
+        // Pages flushed from now on are provably newer than this catalog.
+        self.pool.with_storage_mut(|s| s.advance_epoch());
         Ok(())
+    }
+}
+
+impl HybridTree<DurableStorage> {
+    /// Creates an empty tree over a fresh checksummed page file.
+    pub fn create_durable<P: AsRef<Path>>(
+        dim: usize,
+        cfg: HybridTreeConfig,
+        pages_path: P,
+    ) -> IndexResult<Self> {
+        let storage = DurableStorage::create(pages_path, cfg.page_size)?;
+        Self::with_storage(dim, cfg, storage)
     }
 
     /// Reopens a tree persisted with [`persist`](Self::persist).
+    ///
+    /// Validates the catalog magic and checksums, then cross-checks the
+    /// page file against the catalog (write epochs, live-page count). If
+    /// the ELS section is damaged or the page file diverged from the
+    /// catalog, this falls back to [`recover`](Self::recover)'s walk
+    /// instead of serving possibly stale metadata.
     pub fn open<P: AsRef<Path>, Q: AsRef<Path>>(pages_path: P, meta_path: Q) -> IndexResult<Self> {
-        let buf = std::fs::read(meta_path).map_err(PageError::Io)?;
-        let mut r = ByteReader::new(&buf);
-        let magic = r.get_bytes(8)?;
-        if magic != MAGIC {
-            return Err(IndexError::Storage(PageError::Corrupt(
-                "not a hybrid tree catalog (bad magic)".into(),
-            )));
+        let catalog = read_catalog(meta_path.as_ref()).map_err(IndexError::Storage)?;
+        let storage = DurableStorage::open(pages_path, catalog.core.cfg.page_size)?;
+        let diverged = storage.max_live_epoch() > catalog.core.epoch
+            || storage.live_pages() != catalog.core.live_pages as usize;
+        match catalog.els {
+            Ok(els) if !diverged => {
+                let core = catalog.core;
+                let data_cap = crate::node::data_capacity(core.cfg.page_size, core.dim);
+                let data_min = ((core.cfg.min_fill * data_cap as f64).floor() as usize).max(1);
+                let pool_pages = core.cfg.pool_pages;
+                let pool = BufferPool::new(storage, pool_pages);
+                Ok(Self::assemble(
+                    pool,
+                    core.root,
+                    core.height,
+                    core.dim,
+                    core.len,
+                    core.cfg,
+                    data_cap,
+                    data_min,
+                    core.global_br,
+                    els,
+                ))
+            }
+            _ => Self::recover_with(storage, catalog.core),
         }
-        let dim = r.get_u32()? as usize;
-        let len = r.get_u64()? as usize;
-        let root = PageId(r.get_u32()?);
-        let height = r.get_u32()? as usize;
-        let cfg = decode_cfg(&mut r)?;
-        let global_br = match r.get_u8()? {
-            0 => None,
-            1 => {
-                let mut lo = Vec::with_capacity(dim);
-                for _ in 0..dim {
-                    lo.push(r.get_f32()?);
-                }
-                let mut hi = Vec::with_capacity(dim);
-                for _ in 0..dim {
-                    hi.push(r.get_f32()?);
-                }
-                Some(Rect::new(lo, hi))
+    }
+
+    /// Forces a recovery pass: walks the tree from the catalog root,
+    /// rebuilding the ELS table and the live-page set from the pages
+    /// themselves, then cross-checks every structural invariant. Returns a
+    /// consistent tree or a typed [`PageError::Corrupt`] error.
+    pub fn recover<P: AsRef<Path>, Q: AsRef<Path>>(
+        pages_path: P,
+        meta_path: Q,
+    ) -> IndexResult<Self> {
+        let catalog = read_catalog(meta_path.as_ref()).map_err(IndexError::Storage)?;
+        let storage = DurableStorage::open(pages_path, catalog.core.cfg.page_size)?;
+        Self::recover_with(storage, catalog.core)
+    }
+
+    fn recover_with(mut storage: DurableStorage, core: CatalogCore) -> IndexResult<Self> {
+        let dim = core.dim;
+        let cfg = core.cfg.clone();
+        let mut els = ElsTable::new(dim, cfg.els_bits);
+        let mut reachable = HashSet::new();
+        let root_region = core
+            .global_br
+            .clone()
+            .unwrap_or_else(|| Rect::from_point(&Point::origin(dim)));
+        let expected_level = (core.height - 1) as u16;
+        let (total, _) = walk_rebuild(
+            &storage,
+            core.root,
+            &root_region,
+            expected_level,
+            dim,
+            cfg.page_size,
+            &mut els,
+            &mut reachable,
+        )
+        .map_err(IndexError::Storage)?;
+        if total != core.len {
+            return Err(IndexError::Storage(corrupt(format!(
+                "recovery walk found {total} entries, catalog records {}",
+                core.len
+            ))));
+        }
+        // Reclaim pages the tree cannot reach (leaked by a crash between
+        // an allocation and the commit that would have referenced it).
+        // Freeing zeroes the slot, so the reclamation is durable.
+        for i in 0..storage.page_slots() {
+            let id = PageId(i);
+            if !storage.is_freed(id) && !reachable.contains(&id) {
+                storage.free(id)?;
             }
-            t => {
-                return Err(IndexError::Storage(PageError::Corrupt(format!(
-                    "bad bounding-box tag {t}"
-                ))))
-            }
-        };
-        let els = ElsTable::decode(&mut r)?;
-        let storage = FileStorage::open(pages_path, cfg.page_size)?;
+        }
         let data_cap = crate::node::data_capacity(cfg.page_size, dim);
         let data_min = ((cfg.min_fill * data_cap as f64).floor() as usize).max(1);
-        let pool = BufferPool::new(storage, cfg.pool_pages);
-        Ok(Self::assemble(
-            pool, root, height, dim, len, cfg, data_cap, data_min, global_br, els,
-        ))
+        let pool_pages = cfg.pool_pages;
+        let pool = BufferPool::new(storage, pool_pages);
+        let tree = Self::assemble(
+            pool,
+            core.root,
+            core.height,
+            dim,
+            core.len,
+            cfg,
+            data_cap,
+            data_min,
+            core.global_br,
+            els,
+        );
+        // Cross-check against the full invariant suite (regions, levels,
+        // utilization, ELS conservativeness, reachable count).
+        tree.check_invariants().map_err(|e| {
+            IndexError::Storage(corrupt(format!("recovery cross-check failed: {e}")))
+        })?;
+        Ok(tree)
+    }
+}
+
+/// Recursive recovery walk: validates node decode and levels, accumulates
+/// the reachable-page set, rebuilds ELS entries bottom-up, and returns
+/// `(entry count, live bounding box)` for the subtree.
+#[allow(clippy::too_many_arguments)]
+fn walk_rebuild(
+    storage: &DurableStorage,
+    pid: PageId,
+    region: &Rect,
+    expected_level: u16,
+    dim: usize,
+    page_size: usize,
+    els: &mut ElsTable,
+    reachable: &mut HashSet<PageId>,
+) -> Result<(usize, Option<Rect>), PageError> {
+    if !reachable.insert(pid) {
+        return Err(corrupt(format!("{pid}: page referenced more than once")));
+    }
+    let mut buf = vec![0u8; page_size];
+    storage.read(pid, &mut buf)?;
+    match Node::decode(&buf, dim)? {
+        Node::Data(entries) => {
+            if expected_level != 0 {
+                return Err(corrupt(format!(
+                    "{pid}: data node at level {expected_level}"
+                )));
+            }
+            let mut bb: Option<Rect> = None;
+            for e in &entries {
+                bb = Some(match bb {
+                    None => Rect::from_point(&e.point),
+                    Some(b) => {
+                        let mut lo = Vec::with_capacity(dim);
+                        let mut hi = Vec::with_capacity(dim);
+                        for d in 0..dim {
+                            lo.push(b.lo(d).min(e.point.coord(d)));
+                            hi.push(b.hi(d).max(e.point.coord(d)));
+                        }
+                        Rect::new(lo, hi)
+                    }
+                });
+            }
+            Ok((entries.len(), bb))
+        }
+        Node::Index { level, kd } => {
+            if level != expected_level || expected_level == 0 {
+                return Err(corrupt(format!(
+                    "{pid}: index node at level {level}, expected {expected_level}"
+                )));
+            }
+            let mut total = 0usize;
+            let mut acc: Option<Rect> = None;
+            for (child, child_region) in kd.children_with_regions(region) {
+                let (count, live) = walk_rebuild(
+                    storage,
+                    child,
+                    &child_region,
+                    expected_level - 1,
+                    dim,
+                    page_size,
+                    els,
+                    reachable,
+                )?;
+                if let Some(live) = &live {
+                    els.set_from_rects(child, std::iter::once(live), &child_region);
+                    acc = Some(match acc {
+                        None => live.clone(),
+                        Some(a) => a.union(live),
+                    });
+                }
+                total += count;
+            }
+            Ok((total, acc))
+        }
     }
 }
 
@@ -158,25 +505,38 @@ mod tests {
         dir.join(name)
     }
 
+    fn build_tree(
+        pages: &Path,
+        cfg: &HybridTreeConfig,
+        dim: usize,
+        pts: &[Point],
+    ) -> HybridTree<DurableStorage> {
+        let mut t = HybridTree::create_durable(dim, cfg.clone(), pages).unwrap();
+        for (i, p) in pts.iter().enumerate() {
+            t.insert(p.clone(), i as u64).unwrap();
+        }
+        t
+    }
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new((0..dim).map(|_| rng.gen::<f32>()).collect()))
+            .collect()
+    }
+
     #[test]
     fn persist_and_reopen_roundtrip() {
         let pages = tmp("rt.pages");
         let meta = tmp("rt.meta");
-        let mut rng = StdRng::seed_from_u64(1);
-        let pts: Vec<Point> = (0..800)
-            .map(|_| Point::new((0..5).map(|_| rng.gen::<f32>()).collect()))
-            .collect();
+        let pts = random_points(800, 5, 1);
         let cfg = HybridTreeConfig {
             page_size: 512,
             els_bits: 4,
             ..HybridTreeConfig::default()
         };
         {
-            let storage = FileStorage::create(&pages, 512).unwrap();
-            let mut t = HybridTree::with_storage(5, cfg, storage).unwrap();
-            for (i, p) in pts.iter().enumerate() {
-                t.insert(p.clone(), i as u64).unwrap();
-            }
+            let mut t = build_tree(&pages, &cfg, 5, &pts);
             t.persist(&meta).unwrap();
         }
         {
@@ -211,7 +571,7 @@ mod tests {
     fn open_rejects_garbage_catalog() {
         let pages = tmp("bad.pages");
         let meta = tmp("bad.meta");
-        let _ = FileStorage::create(&pages, 512).unwrap();
+        let _ = DurableStorage::create(&pages, 512).unwrap();
         std::fs::write(&meta, b"definitely not a catalog").unwrap();
         assert!(HybridTree::open(&pages, &meta).is_err());
         std::fs::write(&meta, b"HY").unwrap();
@@ -233,8 +593,7 @@ mod tests {
             pool_pages: 33,
         };
         {
-            let storage = FileStorage::create(&pages, 1024).unwrap();
-            let mut t = HybridTree::with_storage(3, cfg.clone(), storage).unwrap();
+            let mut t = HybridTree::create_durable(3, cfg.clone(), &pages).unwrap();
             t.insert(Point::new(vec![0.1, 0.2, 0.3]), 1).unwrap();
             t.persist(&meta).unwrap();
         }
@@ -246,6 +605,199 @@ mod tests {
         assert_eq!(got.split_policy, cfg.split_policy);
         assert_eq!(got.query_size, cfg.query_size);
         assert_eq!(got.pool_pages, cfg.pool_pages);
+        std::fs::remove_file(&pages).ok();
+        std::fs::remove_file(&meta).ok();
+    }
+
+    #[test]
+    fn catalog_bit_flips_are_always_detected() {
+        let pages = tmp("flip.pages");
+        let meta = tmp("flip.meta");
+        let pts = random_points(300, 3, 7);
+        let cfg = HybridTreeConfig {
+            page_size: 512,
+            ..HybridTreeConfig::default()
+        };
+        {
+            let mut t = build_tree(&pages, &cfg, 3, &pts);
+            t.persist(&meta).unwrap();
+        }
+        let clean = std::fs::read(&meta).unwrap();
+        // Flip a bit at a spread of offsets; open must either refuse with
+        // a typed error or (ELS-section damage) recover to a correct tree.
+        for pos in (0..clean.len()).step_by(7) {
+            let mut bad = clean.clone();
+            bad[pos] ^= 0x04;
+            std::fs::write(&meta, &bad).unwrap();
+            match HybridTree::open(&pages, &meta) {
+                Ok(t) => {
+                    assert_eq!(t.len(), 300, "flip at {pos} changed the tree");
+                    t.check_invariants().unwrap();
+                }
+                Err(e) => {
+                    assert!(
+                        matches!(e, IndexError::Storage(_)),
+                        "flip at {pos}: unexpected error {e:?}"
+                    );
+                }
+            }
+        }
+        std::fs::remove_file(&pages).ok();
+        std::fs::remove_file(&meta).ok();
+    }
+
+    #[test]
+    fn truncated_catalog_is_rejected_at_every_length() {
+        let pages = tmp("trunc.pages");
+        let meta = tmp("trunc.meta");
+        let pts = random_points(120, 2, 9);
+        let cfg = HybridTreeConfig {
+            page_size: 256,
+            ..HybridTreeConfig::default()
+        };
+        {
+            let mut t = build_tree(&pages, &cfg, 2, &pts);
+            t.persist(&meta).unwrap();
+        }
+        let clean = std::fs::read(&meta).unwrap();
+        for cut in 0..clean.len() {
+            std::fs::write(&meta, &clean[..cut]).unwrap();
+            match HybridTree::open(&pages, &meta) {
+                // Cuts inside the (trailing, rebuildable) ELS section can
+                // recover; everything else must fail typed.
+                Ok(t) => assert_eq!(t.len(), 120, "cut at {cut}"),
+                Err(IndexError::Storage(_)) => {}
+                Err(e) => panic!("cut at {cut}: unexpected error {e:?}"),
+            }
+        }
+        std::fs::remove_file(&pages).ok();
+        std::fs::remove_file(&meta).ok();
+    }
+
+    #[test]
+    fn damaged_els_section_triggers_recovery_with_identical_results() {
+        let pages = tmp("els.pages");
+        let meta = tmp("els.meta");
+        let pts = random_points(500, 4, 11);
+        let cfg = HybridTreeConfig {
+            page_size: 512,
+            els_bits: 4,
+            ..HybridTreeConfig::default()
+        };
+        {
+            let mut t = build_tree(&pages, &cfg, 4, &pts);
+            t.persist(&meta).unwrap();
+        }
+        // Corrupt one byte in the middle of the ELS section.
+        let mut bytes = std::fs::read(&meta).unwrap();
+        let n = bytes.len();
+        bytes[n - 20] ^= 0xFF;
+        std::fs::write(&meta, &bytes).unwrap();
+        let t = HybridTree::open(&pages, &meta).unwrap();
+        assert_eq!(t.len(), 500);
+        t.check_invariants().unwrap();
+        let rect = Rect::new(vec![0.1; 4], vec![0.6; 4]);
+        let mut got = t.box_query(&rect).unwrap();
+        got.sort_unstable();
+        let mut want: Vec<u64> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| rect.contains_point(p))
+            .map(|(i, _)| i as u64)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want, "recovered ELS must not change results");
+        std::fs::remove_file(&pages).ok();
+        std::fs::remove_file(&meta).ok();
+    }
+
+    #[test]
+    fn pages_newer_than_catalog_force_recovery_not_stale_reads() {
+        let pages = tmp("epoch.pages");
+        let meta = tmp("epoch.meta");
+        let pts = random_points(400, 3, 13);
+        let cfg = HybridTreeConfig {
+            page_size: 512,
+            ..HybridTreeConfig::default()
+        };
+        {
+            let mut t = build_tree(&pages, &cfg, 3, &pts[..300]);
+            t.persist(&meta).unwrap();
+            // Keep mutating *after* the commit, then flush pages without
+            // committing a catalog — the crash window that used to produce
+            // silently stale opens.
+            for (i, p) in pts[300..].iter().enumerate() {
+                t.insert(p.clone(), (300 + i) as u64).unwrap();
+            }
+            t.flush_for_test();
+        }
+        // Open must notice the divergence (newer page epochs) and take the
+        // recovery path; the result must be a consistent tree, never a
+        // silent mix of old catalog and new pages.
+        match HybridTree::open(&pages, &meta) {
+            Ok(t) => {
+                t.check_invariants().unwrap();
+                let got = t.box_query(&Rect::new(vec![0.0; 3], vec![1.0; 3])).unwrap();
+                assert_eq!(got.len(), t.len(), "whole-space query matches len");
+            }
+            Err(e) => assert!(matches!(e, IndexError::Storage(_)), "{e:?}"),
+        }
+        std::fs::remove_file(&pages).ok();
+        std::fs::remove_file(&meta).ok();
+    }
+
+    #[test]
+    fn recovery_reclaims_leaked_pages() {
+        let pages = tmp("leak.pages");
+        let meta = tmp("leak.meta");
+        let pts = random_points(200, 3, 17);
+        let cfg = HybridTreeConfig {
+            page_size: 512,
+            ..HybridTreeConfig::default()
+        };
+        let live_committed;
+        {
+            let mut t = build_tree(&pages, &cfg, 3, &pts);
+            t.persist(&meta).unwrap();
+            live_committed = t.pool_live_pages_for_test();
+            // Leak a page: allocated and flushed but never linked into
+            // the tree or committed (a crash mid-split does this).
+            t.leak_page_for_test();
+        }
+        let t = HybridTree::recover(&pages, &meta).unwrap();
+        assert_eq!(t.len(), 200);
+        t.check_invariants().unwrap();
+        assert_eq!(
+            t.pool_live_pages_for_test(),
+            live_committed,
+            "recovery reclaimed the leaked page"
+        );
+        std::fs::remove_file(&pages).ok();
+        std::fs::remove_file(&meta).ok();
+    }
+
+    #[test]
+    fn persist_leaves_no_temp_file() {
+        let pages = tmp("tmpf.pages");
+        let meta = tmp("tmpf.meta");
+        {
+            let mut t = HybridTree::create_durable(
+                2,
+                HybridTreeConfig {
+                    page_size: 256,
+                    ..HybridTreeConfig::default()
+                },
+                &pages,
+            )
+            .unwrap();
+            t.insert(Point::new(vec![0.5, 0.5]), 1).unwrap();
+            t.persist(&meta).unwrap();
+            t.persist(&meta).unwrap(); // idempotent re-commit
+        }
+        let mut tmp_name = meta.as_os_str().to_owned();
+        tmp_name.push(".tmp");
+        assert!(!std::path::PathBuf::from(tmp_name).exists());
+        assert!(HybridTree::open(&pages, &meta).is_ok());
         std::fs::remove_file(&pages).ok();
         std::fs::remove_file(&meta).ok();
     }

@@ -8,7 +8,7 @@ use crate::split::{build_kd, split_data, split_index};
 use crate::view::NodeView;
 use hyt_geom::{Coord, Metric, Point, Rect};
 use hyt_index::{check_dim, IndexError, IndexResult, MultidimIndex, StructureStats};
-use hyt_page::{BufferPool, IoStats, MemStorage, PageId, Storage};
+use hyt_page::{BufferPool, IoStats, MemStorage, PageError, PageId, Storage};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -191,6 +191,28 @@ impl<S: Storage> HybridTree<S> {
     /// entry count). Intended for tests; `O(size of tree)`.
     pub fn check_invariants(&self) -> IndexResult<()> {
         crate::verify::check(self)
+    }
+
+    /// Flushes dirty pages and fsyncs the store without committing a
+    /// catalog — simulates the crash window between page writes and the
+    /// next [`persist`](Self::persist).
+    #[cfg(test)]
+    pub(crate) fn flush_for_test(&self) {
+        self.pool.sync_storage().expect("flush");
+    }
+
+    /// Allocates (and abandons) a page, simulating a crash between an
+    /// allocation and the commit that would have referenced it.
+    #[cfg(test)]
+    pub(crate) fn leak_page_for_test(&self) {
+        self.pool.allocate().expect("allocate");
+        self.pool.sync_storage().expect("flush");
+    }
+
+    /// Live page count as seen by the backing store.
+    #[cfg(test)]
+    pub(crate) fn pool_live_pages_for_test(&self) -> usize {
+        self.pool.live_pages()
     }
 
     // ------------------------------------------------------------------
@@ -658,7 +680,9 @@ impl<S: Storage> MultidimIndex for HybridTree<S> {
                     }
                     NodeView::Data(_) => {
                         let Node::Data(entries) = Node::decode(&buf, self.dim)? else {
-                            unreachable!()
+                            return Err(IndexError::Storage(PageError::Corrupt(format!(
+                                "{pid}: node tag disagrees between header parse and decode"
+                            ))));
                         };
                         out.extend(
                             entries

@@ -63,6 +63,16 @@ impl From<PageError> for IndexError {
     }
 }
 
+impl IndexError {
+    /// Whether this error reports detected on-disk corruption (checksum
+    /// or structural), as opposed to a transient I/O failure or misuse.
+    /// Crash-recovery callers branch on this: corruption is permanent and
+    /// needs a rebuild, everything else is retryable or a caller bug.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, IndexError::Storage(PageError::Corrupt(_)))
+    }
+}
+
 /// Structural properties of a built index, for Table 1 / Table 2 style
 /// comparisons and for the ablation benches.
 #[derive(Clone, Debug, Default)]

@@ -117,6 +117,16 @@ impl<'a> ByteReader<'a> {
         Ok(s)
     }
 
+    /// [`take`](Self::take) into a fixed-width array, so the integer
+    /// getters below stay free of slice-to-array conversions that would
+    /// need an unwrap.
+    fn take_array<const N: usize>(&mut self) -> PageResult<[u8; N]> {
+        let s = self.take(N)?;
+        let mut a = [0u8; N];
+        a.copy_from_slice(s);
+        Ok(a)
+    }
+
     /// Reads a `u8`.
     pub fn get_u8(&mut self) -> PageResult<u8> {
         Ok(self.take(1)?[0])
@@ -124,27 +134,27 @@ impl<'a> ByteReader<'a> {
 
     /// Reads a `u16`.
     pub fn get_u16(&mut self) -> PageResult<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a `u32`.
     pub fn get_u32(&mut self) -> PageResult<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a `u64`.
     pub fn get_u64(&mut self) -> PageResult<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     /// Reads an `f32`.
     pub fn get_f32(&mut self) -> PageResult<f32> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(f32::from_le_bytes(self.take_array()?))
     }
 
     /// Reads an `f64`.
     pub fn get_f64(&mut self) -> PageResult<f64> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(self.take_array()?))
     }
 
     /// Reads `n` raw bytes.

@@ -1,0 +1,316 @@
+//! Scripted fault injection for crash and corruption testing.
+//!
+//! [`FaultStorage`] wraps any [`Storage`] and misbehaves at scripted
+//! points, remote-controlled through a shared [`FaultScript`]:
+//!
+//! * **Crash at write site `k`** — mutating operations (allocate, write,
+//!   free, sync) share one monotone counter; operation `k` lands *torn*
+//!   (only a prefix of the new bytes is persisted, the rest of the slot
+//!   keeps its old content) and then every later mutation fails, modelling
+//!   a process kill with the tail of one in-flight page write lost.
+//! * **Transient read faults** — the next *n* reads fail with
+//!   [`PageError::Io`]; used to exercise the pool's bounded retry.
+//! * **Bit flips on read** — a scripted read returns its buffer with one
+//!   bit flipped, modelling media corruption below the checksum layer.
+//!
+//! The wrapper is meant to sit *below* [`crate::ChecksumStorage`], so
+//! every fault it injects damages framed bytes and must be caught by the
+//! CRCs, never handed to a decoder.
+
+use crate::{PageError, PageId, PageResult, Storage};
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::Arc;
+
+const DISARMED: u64 = u64::MAX;
+
+/// Shared remote control for one or more [`FaultStorage`] wrappers.
+pub struct FaultScript {
+    writes: AtomicU64,
+    reads: AtomicU64,
+    crash_at: AtomicU64,
+    torn_millis: AtomicU64,
+    fail_reads: AtomicU64,
+    flip_read_at: AtomicU64,
+    flip_spec: AtomicU64,
+}
+
+impl FaultScript {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            writes: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            crash_at: AtomicU64::new(DISARMED),
+            torn_millis: AtomicU64::new(0),
+            fail_reads: AtomicU64::new(0),
+            flip_read_at: AtomicU64::new(DISARMED),
+            flip_spec: AtomicU64::new(0),
+        })
+    }
+
+    /// Arms a crash at mutation number `nth` (0-based, counted from
+    /// storage creation): that operation persists only
+    /// `torn_millis`/1000 of its bytes, and every mutation after it fails.
+    pub fn crash_at_write(&self, nth: u64, torn_millis: u64) {
+        self.torn_millis.store(torn_millis.min(1000), SeqCst);
+        self.crash_at.store(nth, SeqCst);
+    }
+
+    /// Fails the next `n` reads with a transient [`PageError::Io`].
+    pub fn fail_next_reads(&self, n: u64) {
+        self.fail_reads.store(n, SeqCst);
+    }
+
+    /// Flips `mask` into byte `offset` of the buffer returned by read
+    /// number `nth` (0-based, counted from storage creation).
+    pub fn flip_on_read(&self, nth: u64, offset: usize, mask: u8) {
+        assert!(mask != 0, "a zero mask flips nothing");
+        self.flip_spec
+            .store(((offset as u64) << 8) | u64::from(mask), SeqCst);
+        self.flip_read_at.store(nth, SeqCst);
+    }
+
+    /// Clears every armed fault (counters keep running).
+    pub fn disarm(&self) {
+        self.crash_at.store(DISARMED, SeqCst);
+        self.fail_reads.store(0, SeqCst);
+        self.flip_read_at.store(DISARMED, SeqCst);
+    }
+
+    /// Mutations observed so far (allocate + write + free + sync).
+    pub fn writes_seen(&self) -> u64 {
+        self.writes.load(SeqCst)
+    }
+
+    /// Reads observed so far.
+    pub fn reads_seen(&self) -> u64 {
+        self.reads.load(SeqCst)
+    }
+
+    /// Whether the armed crash point has been reached.
+    pub fn crashed(&self) -> bool {
+        self.writes.load(SeqCst) > self.crash_at.load(SeqCst)
+    }
+
+    fn write_gate(&self) -> Gate {
+        let idx = self.writes.fetch_add(1, SeqCst);
+        let k = self.crash_at.load(SeqCst);
+        match idx.cmp(&k) {
+            std::cmp::Ordering::Less => Gate::Pass,
+            std::cmp::Ordering::Equal => Gate::Torn(self.torn_millis.load(SeqCst)),
+            std::cmp::Ordering::Greater => Gate::Offline,
+        }
+    }
+}
+
+enum Gate {
+    Pass,
+    Torn(u64),
+    Offline,
+}
+
+fn crash_error() -> PageError {
+    PageError::Io(std::io::Error::other("injected crash during write"))
+}
+
+fn offline_error() -> PageError {
+    PageError::Io(std::io::Error::other(
+        "storage offline after injected crash",
+    ))
+}
+
+/// A [`Storage`] wrapper that injects the faults scripted in its
+/// [`FaultScript`]. See the module docs.
+pub struct FaultStorage<S: Storage> {
+    inner: S,
+    script: Arc<FaultScript>,
+}
+
+impl<S: Storage> FaultStorage<S> {
+    /// Wraps `inner` and returns the script handle controlling it.
+    pub fn new(inner: S) -> (Self, Arc<FaultScript>) {
+        let script = FaultScript::new();
+        (
+            Self {
+                inner,
+                script: Arc::clone(&script),
+            },
+            script,
+        )
+    }
+
+    /// Wraps `inner` under an existing script (e.g. to share one script
+    /// across reopen cycles in a crash matrix).
+    pub fn with_script(inner: S, script: Arc<FaultScript>) -> Self {
+        Self { inner, script }
+    }
+
+    /// Unwraps the inner store.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: Storage> Storage for FaultStorage<S> {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn allocate(&mut self) -> PageResult<PageId> {
+        match self.script.write_gate() {
+            Gate::Pass => self.inner.allocate(),
+            Gate::Torn(_) => {
+                // The file grew but the caller never learns the id — the
+                // slot is leaked until recovery reclaims it.
+                let _ = self.inner.allocate();
+                Err(crash_error())
+            }
+            Gate::Offline => Err(offline_error()),
+        }
+    }
+
+    fn read(&self, id: PageId, buf: &mut [u8]) -> PageResult<()> {
+        let idx = self.script.reads.fetch_add(1, SeqCst);
+        if self
+            .script
+            .fail_reads
+            .fetch_update(SeqCst, SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+        {
+            return Err(PageError::Io(std::io::Error::other(
+                "injected transient read fault",
+            )));
+        }
+        self.inner.read(id, buf)?;
+        if idx == self.script.flip_read_at.load(SeqCst) && !buf.is_empty() {
+            let spec = self.script.flip_spec.load(SeqCst);
+            let offset = (spec >> 8) as usize % buf.len();
+            buf[offset] ^= (spec & 0xFF) as u8;
+        }
+        Ok(())
+    }
+
+    fn write(&mut self, id: PageId, data: &[u8]) -> PageResult<()> {
+        match self.script.write_gate() {
+            Gate::Pass => self.inner.write(id, data),
+            Gate::Torn(millis) => {
+                // Persist a prefix of the new bytes over the old content:
+                // the write's tail — including the zero padding a complete
+                // write would have produced — never lands.
+                let ps = self.inner.page_size();
+                let mut slot = vec![0u8; ps];
+                if self.inner.read(id, &mut slot).is_err() {
+                    slot.fill(0);
+                }
+                let keep = data.len() * millis as usize / 1000;
+                slot[..keep].copy_from_slice(&data[..keep]);
+                let _ = self.inner.write(id, &slot);
+                Err(crash_error())
+            }
+            Gate::Offline => Err(offline_error()),
+        }
+    }
+
+    fn free(&mut self, id: PageId) -> PageResult<()> {
+        match self.script.write_gate() {
+            Gate::Pass => self.inner.free(id),
+            Gate::Torn(millis) => {
+                // A torn free zeroes only a prefix of the slot and never
+                // reaches the free-list bookkeeping.
+                let ps = self.inner.page_size();
+                let mut slot = vec![0u8; ps];
+                if self.inner.read(id, &mut slot).is_err() {
+                    slot.fill(0);
+                }
+                let keep = ps * millis as usize / 1000;
+                slot[..keep].fill(0);
+                let _ = self.inner.write(id, &slot);
+                Err(crash_error())
+            }
+            Gate::Offline => Err(offline_error()),
+        }
+    }
+
+    fn live_pages(&self) -> usize {
+        self.inner.live_pages()
+    }
+
+    fn sync(&mut self) -> PageResult<()> {
+        match self.script.write_gate() {
+            Gate::Pass => self.inner.sync(),
+            Gate::Torn(_) | Gate::Offline => Err(offline_error()),
+        }
+    }
+
+    fn epoch(&self) -> u64 {
+        self.inner.epoch()
+    }
+
+    fn advance_epoch(&mut self) -> u64 {
+        self.inner.advance_epoch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemStorage;
+
+    #[test]
+    fn passthrough_when_disarmed() {
+        let (mut s, script) = FaultStorage::new(MemStorage::with_page_size(128));
+        let a = s.allocate().unwrap();
+        s.write(a, b"clean").unwrap();
+        let mut buf = vec![0u8; 128];
+        s.read(a, &mut buf).unwrap();
+        assert_eq!(&buf[..5], b"clean");
+        assert_eq!(script.writes_seen(), 2);
+        assert_eq!(script.reads_seen(), 1);
+        assert!(!script.crashed());
+    }
+
+    #[test]
+    fn crash_tears_one_write_and_kills_the_rest() {
+        let (mut s, script) = FaultStorage::new(MemStorage::with_page_size(128));
+        let a = s.allocate().unwrap();
+        s.write(a, &[0xAA; 128]).unwrap();
+        // Next mutation (write #2) tears at half the payload.
+        script.crash_at_write(2, 500);
+        assert!(matches!(s.write(a, &[0xBB; 128]), Err(PageError::Io(_))));
+        assert!(script.crashed());
+        // Half new, half old.
+        let mut buf = vec![0u8; 128];
+        s.read(a, &mut buf).unwrap();
+        assert!(buf[..64].iter().all(|&b| b == 0xBB));
+        assert!(buf[64..].iter().all(|&b| b == 0xAA));
+        // Storage is offline for mutations afterwards.
+        assert!(matches!(s.allocate(), Err(PageError::Io(_))));
+        assert!(matches!(s.sync(), Err(PageError::Io(_))));
+        assert!(matches!(s.free(a), Err(PageError::Io(_))));
+    }
+
+    #[test]
+    fn transient_read_faults_then_recover() {
+        let (mut s, script) = FaultStorage::new(MemStorage::with_page_size(128));
+        let a = s.allocate().unwrap();
+        s.write(a, b"flaky").unwrap();
+        script.fail_next_reads(2);
+        let mut buf = vec![0u8; 128];
+        assert!(matches!(s.read(a, &mut buf), Err(PageError::Io(_))));
+        assert!(matches!(s.read(a, &mut buf), Err(PageError::Io(_))));
+        s.read(a, &mut buf).unwrap();
+        assert_eq!(&buf[..5], b"flaky");
+    }
+
+    #[test]
+    fn scripted_bit_flip_hits_one_read() {
+        let (mut s, script) = FaultStorage::new(MemStorage::with_page_size(128));
+        let a = s.allocate().unwrap();
+        s.write(a, &[0u8; 128]).unwrap();
+        script.flip_on_read(script.reads_seen(), 7, 0x20);
+        let mut buf = vec![0u8; 128];
+        s.read(a, &mut buf).unwrap();
+        assert_eq!(buf[7], 0x20, "scripted read is corrupted");
+        s.read(a, &mut buf).unwrap();
+        assert_eq!(buf[7], 0, "subsequent reads are clean");
+    }
+}

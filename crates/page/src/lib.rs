@@ -14,15 +14,32 @@
 //!
 //! Two backing stores are provided: [`MemStorage`] (the default for
 //! experiments; deterministic and fast) and [`FileStorage`] (a real file on
-//! disk, demonstrating durability round-trips).
+//! disk, demonstrating durability round-trips). On-disk deployments wrap
+//! the file store in [`ChecksumStorage`] (alias [`DurableStorage`]), which
+//! frames every page with a magic number, its page id, a write epoch, and
+//! CRC-32 checksums, so torn writes and bit flips surface as
+//! [`PageError::Corrupt`] instead of decoding garbage. [`FaultStorage`]
+//! injects scripted crashes, transient I/O errors, and bit flips below the
+//! checksum layer for crash-matrix testing.
 
+mod checksum;
 mod codec;
+mod crc;
 mod error;
+mod fault;
+mod frame;
 mod pool;
 mod storage;
 
+pub use checksum::{ChecksumStorage, DurableStorage};
 pub use codec::{ByteReader, ByteWriter};
+pub use crc::crc32;
 pub use error::{PageError, PageResult};
+pub use fault::{FaultScript, FaultStorage};
+pub use frame::{
+    encode_frame, inspect_frame, inspect_header, FrameStatus, HeaderStatus, FLAG_LIVE,
+    FORMAT_VERSION, HEADER_BYTES as FRAME_HEADER_BYTES, PAGE_MAGIC,
+};
 pub use pool::{BufferPool, IoStats, SHARDING_THRESHOLD};
 pub use storage::{FileStorage, MemStorage, Storage};
 

@@ -25,6 +25,13 @@ pub const SHARDING_THRESHOLD: usize = 128;
 /// Shard count for large pools (power of two; ids map by bitmask).
 const NUM_SHARDS: usize = 16;
 
+/// Transient-I/O read attempts beyond the first before the error is
+/// surfaced; backoff doubles from [`RETRY_BASE_DELAY_US`] per attempt.
+const READ_RETRY_LIMIT: u32 = 3;
+
+/// First retry backoff in microseconds.
+const RETRY_BASE_DELAY_US: u64 = 50;
+
 /// I/O counters maintained by a [`BufferPool`].
 ///
 /// The paper's cost metric is the *average number of disk accesses per
@@ -56,6 +63,10 @@ pub struct IoStats {
     pub physical_writes: u64,
     /// Reads satisfied from the pool.
     pub hits: u64,
+    /// Physical read attempts that failed transiently and were retried
+    /// (see the pool's bounded retry-with-backoff; a read that exhausts
+    /// its retries surfaces the I/O error to the caller).
+    pub retried_reads: u64,
 }
 
 impl IoStats {
@@ -74,6 +85,7 @@ impl IoStats {
         self.physical_reads += other.physical_reads;
         self.physical_writes += other.physical_writes;
         self.hits += other.hits;
+        self.retried_reads += other.retried_reads;
     }
 }
 
@@ -86,6 +98,7 @@ struct AtomicIoStats {
     physical_reads: AtomicU64,
     physical_writes: AtomicU64,
     hits: AtomicU64,
+    retried_reads: AtomicU64,
 }
 
 impl AtomicIoStats {
@@ -97,6 +110,7 @@ impl AtomicIoStats {
             physical_reads: self.physical_reads.load(Relaxed),
             physical_writes: self.physical_writes.load(Relaxed),
             hits: self.hits.load(Relaxed),
+            retried_reads: self.retried_reads.load(Relaxed),
         }
     }
 
@@ -107,6 +121,7 @@ impl AtomicIoStats {
         self.physical_reads.store(0, Relaxed);
         self.physical_writes.store(0, Relaxed);
         self.hits.store(0, Relaxed);
+        self.retried_reads.store(0, Relaxed);
     }
 }
 
@@ -151,7 +166,10 @@ impl Shard {
                 // Everything is pinned; allow temporary over-capacity.
                 return Ok(());
             };
-            let frame = self.frames.remove(&victim).unwrap();
+            let Some(frame) = self.frames.remove(&victim) else {
+                debug_assert!(false, "eviction victim vanished under the shard lock");
+                return Ok(());
+            };
             if frame.dirty {
                 stats.physical_writes.fetch_add(1, Relaxed);
                 storage.write().write(victim, &frame.data)?;
@@ -259,6 +277,30 @@ impl<S: Storage> BufferPool<S> {
         self.storage.write().free(id)
     }
 
+    /// One physical read with bounded retry: transient [`PageError::Io`]
+    /// failures are retried up to [`READ_RETRY_LIMIT`] times with
+    /// exponential backoff (the storage lock is *released* between
+    /// attempts, so a retrying reader never stalls writers). Typed
+    /// corruption ([`PageError::Corrupt`]) is never retried — re-reading
+    /// a bad checksum cannot make the bytes right.
+    fn physical_read(&self, id: PageId, buf: &mut [u8], io: &mut IoStats) -> PageResult<()> {
+        let mut attempt = 0u32;
+        loop {
+            let res = self.storage.read().read(id, buf);
+            match res {
+                Err(PageError::Io(_)) if attempt < READ_RETRY_LIMIT => {
+                    attempt += 1;
+                    io.retried_reads += 1;
+                    self.stats.retried_reads.fetch_add(1, Relaxed);
+                    std::thread::sleep(std::time::Duration::from_micros(
+                        RETRY_BASE_DELAY_US << (attempt - 1),
+                    ));
+                }
+                other => return other,
+            }
+        }
+    }
+
     fn read_impl(&self, id: PageId, seq: bool, io: &mut IoStats) -> PageResult<Vec<u8>> {
         if seq {
             io.seq_reads += 1;
@@ -272,7 +314,7 @@ impl<S: Storage> BufferPool<S> {
             io.physical_reads += 1;
             self.stats.physical_reads.fetch_add(1, Relaxed);
             let mut buf = vec![0u8; self.page_size];
-            self.storage.read().read(id, &mut buf)?;
+            self.physical_read(id, &mut buf, io)?;
             return Ok(buf);
         }
         let mut shard = self.shard(id).lock();
@@ -286,7 +328,7 @@ impl<S: Storage> BufferPool<S> {
         io.physical_reads += 1;
         self.stats.physical_reads.fetch_add(1, Relaxed);
         let mut buf = vec![0u8; self.page_size];
-        self.storage.read().read(id, &mut buf)?;
+        self.physical_read(id, &mut buf, io)?;
         // Make room *before* inserting so the just-faulted frame can never
         // be picked as its own eviction victim.
         let target = shard.capacity.saturating_sub(1);
@@ -383,7 +425,7 @@ impl<S: Storage> BufferPool<S> {
         }
         self.stats.physical_reads.fetch_add(1, Relaxed);
         let mut buf = vec![0u8; self.page_size];
-        self.storage.read().read(id, &mut buf)?;
+        self.physical_read(id, &mut buf, &mut IoStats::default())?;
         let target = shard.capacity.saturating_sub(1);
         shard.evict_to(target, &self.storage, &self.stats)?;
         shard.frames.insert(
@@ -402,18 +444,20 @@ impl<S: Storage> BufferPool<S> {
     /// pressure shrinks back here.
     ///
     /// # Panics
-    /// Panics if the page is not pinned (pin/unpin imbalance is a bug).
+    /// In debug builds, panics if the page is not pinned (pin/unpin
+    /// imbalance is a caller bug). Release builds treat the stray unpin
+    /// as a no-op rather than aborting a serving process.
     pub fn unpin(&self, id: PageId) {
         if self.capacity == 0 {
             return;
         }
         let mut shard = self.shard(id).lock();
-        let f = shard
-            .frames
-            .get_mut(&id)
-            .expect("unpin of non-resident page");
-        assert!(f.pins > 0, "unpin without matching pin");
-        f.pins -= 1;
+        let Some(f) = shard.frames.get_mut(&id) else {
+            debug_assert!(false, "unpin of non-resident page");
+            return;
+        };
+        debug_assert!(f.pins > 0, "unpin without matching pin");
+        f.pins = f.pins.saturating_sub(1);
         let target = shard.capacity;
         // Unpin itself cannot fail; surface write-back errors on the next
         // fallible operation rather than panicking here.
@@ -432,13 +476,24 @@ impl<S: Storage> BufferPool<S> {
                 .collect();
             dirty.sort();
             for id in dirty {
+                let Some(frame) = shard.frames.get_mut(&id) else {
+                    continue;
+                };
                 self.stats.physical_writes.fetch_add(1, Relaxed);
-                let frame = shard.frames.get_mut(&id).unwrap();
                 self.storage.write().write(id, &frame.data)?;
                 frame.dirty = false;
             }
         }
         Ok(())
+    }
+
+    /// Flushes every dirty frame, then asks the backing store to push its
+    /// state to durable media ([`Storage::sync`]). This is the write
+    /// barrier a catalog commit relies on: after it returns, every page
+    /// the catalog will reference is on disk.
+    pub fn sync_storage(&self) -> PageResult<()> {
+        self.flush_all()?;
+        self.storage.write().sync()
     }
 
     /// Flushes and returns the backing store.
@@ -450,6 +505,12 @@ impl<S: Storage> BufferPool<S> {
     /// Runs `f` with shared access to the backing store.
     pub fn with_storage<R>(&self, f: impl FnOnce(&S) -> R) -> R {
         f(&self.storage.read())
+    }
+
+    /// Runs `f` with exclusive access to the backing store (e.g. to
+    /// advance the write epoch after a catalog commit).
+    pub fn with_storage_mut<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        f(&mut self.storage.write())
     }
 }
 
@@ -633,6 +694,50 @@ mod tests {
             "write-back preserved data"
         );
         p.unpin(ids[2]);
+    }
+
+    #[test]
+    fn transient_read_faults_are_retried_with_backoff() {
+        use crate::FaultStorage;
+        let (storage, script) = FaultStorage::new(MemStorage::with_page_size(128));
+        let p = BufferPool::new(storage, 0); // uncached: every read is physical
+        let a = p.allocate().unwrap();
+        p.write(a, b"wobbly").unwrap();
+        // Two transient failures: absorbed by the retry loop.
+        script.fail_next_reads(2);
+        let mut io = IoStats::default();
+        let got = p.read_tracked(a, &mut io).unwrap();
+        assert_eq!(&got[..6], b"wobbly");
+        assert_eq!(io.retried_reads, 2);
+        assert_eq!(p.stats().retried_reads, 2);
+        // More failures than the retry budget: the error surfaces.
+        script.fail_next_reads(u64::MAX);
+        assert!(matches!(p.read(a), Err(PageError::Io(_))));
+        script.disarm();
+        assert_eq!(&p.read(a).unwrap()[..6], b"wobbly");
+    }
+
+    #[test]
+    fn corrupt_reads_are_not_retried() {
+        use crate::checksum::ChecksumStorage;
+        use crate::frame::HEADER_BYTES;
+        use crate::FaultStorage;
+        let (inner, script) = FaultStorage::new(MemStorage::with_page_size(128 + HEADER_BYTES));
+        let p = BufferPool::new(ChecksumStorage::new(inner), 0);
+        let a = p.allocate().unwrap();
+        p.write(a, b"checked").unwrap();
+        // Flip a payload bit on the next physical read: the checksum layer
+        // reports Corrupt, which must surface immediately, not retry.
+        script.flip_on_read(script.reads_seen(), HEADER_BYTES + 2, 0x80);
+        let before = p.stats().retried_reads;
+        assert!(matches!(p.read(a), Err(PageError::Corrupt(_))));
+        assert_eq!(
+            p.stats().retried_reads,
+            before,
+            "no retry burned on corruption"
+        );
+        // The flip was scripted for one read only; service resumes.
+        assert_eq!(&p.read(a).unwrap()[..7], b"checked");
     }
 
     #[test]

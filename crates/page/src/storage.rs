@@ -2,7 +2,7 @@
 
 use crate::{PageError, PageId, PageResult, DEFAULT_PAGE_SIZE};
 use std::fs::{File, OpenOptions};
-use std::io::{Seek, SeekFrom, Write};
+use std::io::Write;
 use std::path::Path;
 
 /// Positioned full read that leaves the file cursor alone, so concurrent
@@ -29,6 +29,26 @@ fn read_at_exact(file: &File, mut buf: &mut [u8], mut off: u64) -> std::io::Resu
                 off += n as u64;
             }
         }
+    }
+    Ok(())
+}
+
+/// Positioned full write, the mirror of [`read_at_exact`]: no seek, so the
+/// shared cursor is never disturbed and a crash can never interleave a
+/// seek from one writer with the `write` of another.
+#[cfg(unix)]
+fn write_at_all(file: &File, buf: &[u8], off: u64) -> std::io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.write_all_at(buf, off)
+}
+
+#[cfg(windows)]
+fn write_at_all(file: &File, mut buf: &[u8], mut off: u64) -> std::io::Result<()> {
+    use std::os::windows::fs::FileExt;
+    while !buf.is_empty() {
+        let n = file.seek_write(buf, off)?;
+        buf = &buf[n..];
+        off += n as u64;
     }
     Ok(())
 }
@@ -63,6 +83,24 @@ pub trait Storage: Send + Sync {
 
     /// Number of live (allocated, not freed) pages.
     fn live_pages(&self) -> usize;
+
+    /// Flushes buffered state to durable media. In-memory stores and
+    /// adapters with nothing to flush use this no-op default.
+    fn sync(&mut self) -> PageResult<()> {
+        Ok(())
+    }
+
+    /// Current write epoch stamped into page frames, if the store versions
+    /// its writes (see [`crate::ChecksumStorage`]); plain stores report 0.
+    fn epoch(&self) -> u64 {
+        0
+    }
+
+    /// Advances the write epoch after a successful catalog commit and
+    /// returns the new value; plain stores ignore the call.
+    fn advance_epoch(&mut self) -> u64 {
+        0
+    }
 }
 
 /// In-memory page store — the default substrate for experiments.
@@ -129,7 +167,10 @@ impl Storage for MemStorage {
     fn read(&self, id: PageId, buf: &mut [u8]) -> PageResult<()> {
         let i = self.slot(id)?;
         debug_assert_eq!(buf.len(), self.page_size);
-        buf.copy_from_slice(self.pages[i].as_ref().unwrap());
+        let Some(page) = self.pages[i].as_ref() else {
+            return Err(PageError::UnknownPage(id));
+        };
+        buf.copy_from_slice(page);
         Ok(())
     }
 
@@ -141,7 +182,9 @@ impl Storage for MemStorage {
             });
         }
         let i = self.slot(id)?;
-        let page = self.pages[i].as_mut().unwrap();
+        let Some(page) = self.pages[i].as_mut() else {
+            return Err(PageError::UnknownPage(id));
+        };
         page[..data.len()].copy_from_slice(data);
         page[data.len()..].fill(0);
         Ok(())
@@ -162,10 +205,17 @@ impl Storage for MemStorage {
 
 /// File-backed page store: page `i` lives at byte offset `i * page_size`.
 ///
-/// The free list is kept in memory only; the intended usage is "build, run,
-/// optionally reopen read-only", which covers the durability round-trip the
-/// tests exercise. Freed pages are zeroed on disk so a reopened file can
-/// distinguish live pages if a caller tracks its own roots.
+/// All I/O is positioned (`pread`/`pwrite`-style), so concurrent readers
+/// never race on a shared cursor and writes are a single syscall staged
+/// through a reusable scratch buffer instead of a fresh zero vector per
+/// call. Freed pages are zeroed on disk.
+///
+/// A raw `FileStorage` has no page headers, so [`open`](Self::open) cannot
+/// tell a zeroed live page from a freed one and conservatively counts
+/// every slot live. The checksummed adapter
+/// ([`crate::ChecksumStorage::open`]) recovers the true free list from its
+/// frame headers and pushes it back down via
+/// [`mark_freed`](Self::mark_freed).
 pub struct FileStorage {
     page_size: usize,
     file: File,
@@ -173,6 +223,8 @@ pub struct FileStorage {
     free_list: Vec<u32>,
     freed: std::collections::HashSet<u32>,
     live: usize,
+    /// Staging buffer for short writes; avoids a heap allocation per call.
+    scratch: Box<[u8]>,
 }
 
 impl FileStorage {
@@ -192,10 +244,12 @@ impl FileStorage {
             free_list: Vec::new(),
             freed: std::collections::HashSet::new(),
             live: 0,
+            scratch: vec![0; page_size].into_boxed_slice(),
         })
     }
 
-    /// Opens an existing page file; all pages present are considered live.
+    /// Opens an existing page file; all pages present are considered live
+    /// (see the type docs for how the framed adapter refines this).
     pub fn open<P: AsRef<Path>>(path: P, page_size: usize) -> PageResult<Self> {
         let file = OpenOptions::new().read(true).write(true).open(path)?;
         let len = file.metadata()?.len();
@@ -212,6 +266,7 @@ impl FileStorage {
             free_list: Vec::new(),
             freed: std::collections::HashSet::new(),
             live: num_pages as usize,
+            scratch: vec![0; page_size].into_boxed_slice(),
         })
     }
 
@@ -222,10 +277,45 @@ impl FileStorage {
         Ok(())
     }
 
-    /// Flushes file contents to the OS.
+    /// Flushes file contents to durable media.
     pub fn sync(&mut self) -> PageResult<()> {
         self.file.flush()?;
         self.file.sync_all()?;
+        Ok(())
+    }
+
+    /// Number of page slots in the file (live + freed).
+    pub fn page_slots(&self) -> u32 {
+        self.num_pages
+    }
+
+    /// Whether a slot is currently recorded as freed.
+    pub fn is_freed(&self, id: PageId) -> bool {
+        self.freed.contains(&id.0)
+    }
+
+    /// Reads the first `buf.len()` bytes of a slot regardless of its
+    /// free status — used by framed stores scanning headers on open.
+    pub fn read_prefix(&self, id: PageId, buf: &mut [u8]) -> PageResult<()> {
+        if id.is_invalid() || id.0 >= self.num_pages {
+            return Err(PageError::UnknownPage(id));
+        }
+        debug_assert!(buf.len() <= self.page_size);
+        read_at_exact(&self.file, buf, u64::from(id.0) * self.page_size as u64)?;
+        Ok(())
+    }
+
+    /// Records a slot as free without touching its bytes — used when a
+    /// framed store recovers the free list from page headers on open, and
+    /// by recovery to reclaim leaked pages. Idempotent.
+    pub fn mark_freed(&mut self, id: PageId) -> PageResult<()> {
+        if id.is_invalid() || id.0 >= self.num_pages {
+            return Err(PageError::UnknownPage(id));
+        }
+        if self.freed.insert(id.0) {
+            self.free_list.push(id.0);
+            self.live -= 1;
+        }
         Ok(())
     }
 }
@@ -236,16 +326,18 @@ impl Storage for FileStorage {
     }
 
     fn allocate(&mut self) -> PageResult<PageId> {
-        self.live += 1;
         if let Some(i) = self.free_list.pop() {
             self.freed.remove(&i);
+            self.live += 1;
             return Ok(PageId(i));
         }
         let i = self.num_pages;
-        self.num_pages += 1;
+        // Extending the file zero-fills the new slot without writing a
+        // page-size buffer through the syscall layer.
         self.file
-            .seek(SeekFrom::Start(u64::from(i) * self.page_size as u64))?;
-        self.file.write_all(&vec![0; self.page_size])?;
+            .set_len((u64::from(i) + 1) * self.page_size as u64)?;
+        self.num_pages = i + 1;
+        self.live += 1;
         Ok(PageId(i))
     }
 
@@ -265,11 +357,15 @@ impl Storage for FileStorage {
             });
         }
         self.check(id)?;
-        self.file
-            .seek(SeekFrom::Start(u64::from(id.0) * self.page_size as u64))?;
-        self.file.write_all(data)?;
-        if data.len() < self.page_size {
-            self.file.write_all(&vec![0; self.page_size - data.len()])?;
+        let off = u64::from(id.0) * self.page_size as u64;
+        if data.len() == self.page_size {
+            write_at_all(&self.file, data, off)?;
+        } else {
+            // Stage short writes so the page lands in one positioned
+            // syscall, zero-padded to the slot boundary.
+            self.scratch[..data.len()].copy_from_slice(data);
+            self.scratch[data.len()..].fill(0);
+            write_at_all(&self.file, &self.scratch, off)?;
         }
         Ok(())
     }
@@ -285,6 +381,10 @@ impl Storage for FileStorage {
 
     fn live_pages(&self) -> usize {
         self.live
+    }
+
+    fn sync(&mut self) -> PageResult<()> {
+        FileStorage::sync(self)
     }
 }
 
@@ -380,6 +480,39 @@ mod tests {
             FileStorage::open(&path, 128),
             Err(PageError::Corrupt(_))
         ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mark_freed_recovers_free_list_without_zeroing() {
+        let dir = std::env::temp_dir().join(format!("hyt_page_mf_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("marked.pages");
+        {
+            let mut s = FileStorage::create(&path, 128).unwrap();
+            for _ in 0..3 {
+                s.allocate().unwrap();
+            }
+            s.write(PageId(1), b"still here").unwrap();
+            s.sync().unwrap();
+        }
+        let mut s = FileStorage::open(&path, 128).unwrap();
+        assert_eq!(s.live_pages(), 3, "raw open counts every slot live");
+        s.mark_freed(PageId(1)).unwrap();
+        s.mark_freed(PageId(1)).unwrap(); // idempotent
+        assert_eq!(s.live_pages(), 2);
+        assert!(s.is_freed(PageId(1)));
+        let mut buf = vec![0u8; 128];
+        assert!(matches!(
+            s.read(PageId(1), &mut buf),
+            Err(PageError::UnknownPage(_))
+        ));
+        // The bytes were not touched: a prefix read still sees them.
+        let mut prefix = [0u8; 10];
+        s.read_prefix(PageId(1), &mut prefix).unwrap();
+        assert_eq!(&prefix, b"still here");
+        // And the marked slot is recycled first.
+        assert_eq!(s.allocate().unwrap(), PageId(1));
         std::fs::remove_file(&path).ok();
     }
 

@@ -10,7 +10,13 @@ cargo fmt --check
 echo "== cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo clippy hyt-page (read paths must be panic-free: unwrap/expect denied)"
+cargo clippy -p hyt-page --lib -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
 echo "== cargo test"
 cargo test --workspace -q
+
+echo "== crash matrix (fault injection: kill at every write site, reopen)"
+cargo test -q --test crash_matrix
 
 echo "tier-1 green"

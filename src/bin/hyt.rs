@@ -15,19 +15,19 @@
 //! (root/height/config/ELS), so build and query can run in separate
 //! processes.
 
-use hybridtree_repro::core::{HybridTree, HybridTreeConfig};
+use hybridtree_repro::core::{scrub_index, scrub_pages, HybridTree, HybridTreeConfig};
 use hybridtree_repro::data::{colhist, fourier, uniform};
 use hybridtree_repro::eval::{run_batch_parallel, total_io, BatchQuery};
 use hybridtree_repro::geom::{Chebyshev, Lp, Metric, Point, Rect, L1, L2};
 use hybridtree_repro::index::MultidimIndex;
-use hybridtree_repro::page::FileStorage;
+use hybridtree_repro::page::DurableStorage;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
@@ -46,23 +46,63 @@ const USAGE: &str = "usage:
   hyt range    --index PAGES --meta META --query V --radius R [--metric l2]
   hyt box      --index PAGES --meta META --lo V --hi V
   hyt batch    --index PAGES --meta META --queries FILE [--threads N] [--metric l2]
+  hyt scrub    --index PAGES [--meta META] [--page-size 4096]
 metrics: l1, l2, linf, lp:<p>     V: comma-separated f32 coordinates
-batch file: one query per line — `box LO HI` | `range CENTER R` | `knn CENTER K`";
+batch file: one query per line — `box LO HI` | `range CENTER R` | `knn CENTER K`
+scrub verifies every page checksum (and, with --meta, every tree invariant)
+without loading the index; exits 1 if any corruption is found";
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err("no command given".into());
     };
     let opts = parse_opts(rest)?;
     match cmd.as_str() {
-        "generate" => generate(&opts),
-        "build" => build(&opts),
-        "stats" => stats(&opts),
-        "knn" => knn(&opts),
-        "range" => range(&opts),
-        "box" => box_query(&opts),
-        "batch" => batch(&opts),
+        "generate" => generate(&opts).map(|()| ExitCode::SUCCESS),
+        "build" => build(&opts).map(|()| ExitCode::SUCCESS),
+        "stats" => stats(&opts).map(|()| ExitCode::SUCCESS),
+        "knn" => knn(&opts).map(|()| ExitCode::SUCCESS),
+        "range" => range(&opts).map(|()| ExitCode::SUCCESS),
+        "box" => box_query(&opts).map(|()| ExitCode::SUCCESS),
+        "batch" => batch(&opts).map(|()| ExitCode::SUCCESS),
+        "scrub" => scrub(&opts),
         other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn scrub(opts: &HashMap<String, String>) -> Result<ExitCode, String> {
+    let index = req(opts, "index")?;
+    let report = match opts.get("meta") {
+        Some(meta) => scrub_index(index, meta).map_err(|e| e.to_string())?,
+        None => {
+            let page_size: usize = opt_parse(opts, "page-size", 4096)?;
+            scrub_pages(index, page_size).map_err(|e| e.to_string())?
+        }
+    };
+    println!(
+        "pages     {} slots ({} live, {} free), logical page size {}",
+        report.slots, report.live, report.free, report.page_size
+    );
+    if let Some(cat) = &report.catalog {
+        println!(
+            "catalog   {} entries, height {}, committed at epoch {}",
+            cat.len, cat.height, cat.epoch
+        );
+    }
+    for d in &report.damage {
+        println!("DAMAGED   {}: {}", d.page, d.detail);
+    }
+    if let Some(cat) = &report.catalog {
+        for issue in &cat.issues {
+            println!("ISSUE     {issue}");
+        }
+    }
+    if report.is_clean() {
+        println!("clean: every checksum and invariant verifies");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("scrub found {} problem(s)", report.problem_count());
+        Ok(ExitCode::FAILURE)
     }
 }
 
@@ -190,7 +230,7 @@ fn build(opts: &HashMap<String, String>) -> Result<(), String> {
     };
     let start = std::time::Instant::now();
     let mut tree = if bulk {
-        let storage = FileStorage::create(index, page_size).map_err(|e| e.to_string())?;
+        let storage = DurableStorage::create(index, page_size).map_err(|e| e.to_string())?;
         let entries: Vec<(Point, u64)> = data
             .into_iter()
             .enumerate()
@@ -198,7 +238,7 @@ fn build(opts: &HashMap<String, String>) -> Result<(), String> {
             .collect();
         HybridTree::bulk_load_into(storage, cfg, entries).map_err(|e| e.to_string())?
     } else {
-        let storage = FileStorage::create(index, page_size).map_err(|e| e.to_string())?;
+        let storage = DurableStorage::create(index, page_size).map_err(|e| e.to_string())?;
         let mut tree = HybridTree::with_storage(dim, cfg, storage).map_err(|e| e.to_string())?;
         for (i, p) in data.into_iter().enumerate() {
             tree.insert(p, i as u64).map_err(|e| e.to_string())?;
@@ -218,7 +258,7 @@ fn build(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn open_tree(opts: &HashMap<String, String>) -> Result<HybridTree<FileStorage>, String> {
+fn open_tree(opts: &HashMap<String, String>) -> Result<HybridTree<DurableStorage>, String> {
     let index = req(opts, "index")?;
     let meta = req(opts, "meta")?;
     HybridTree::open(index, meta).map_err(|e| e.to_string())
@@ -251,7 +291,7 @@ fn stats(opts: &HashMap<String, String>) -> Result<(), String> {
 
 fn query_point(
     opts: &HashMap<String, String>,
-    tree: &HybridTree<FileStorage>,
+    tree: &HybridTree<DurableStorage>,
 ) -> Result<Point, String> {
     let q = parse_vector(req(opts, "query")?)?;
     if q.len() != tree.dim() {

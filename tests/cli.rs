@@ -124,6 +124,40 @@ fn generate_build_query_pipeline() {
         "expected oid 42 first, got {line}"
     );
 
+    // 6. scrub: the freshly built index verifies clean (exit 0)...
+    let out = hyt()
+        .args(["scrub", "--index"])
+        .arg(&pages)
+        .args(["--meta"])
+        .arg(&meta)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("clean"));
+
+    // ...and a single flipped bit in the page file makes scrub exit 1.
+    let mut bytes = std::fs::read(&pages).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&pages, &bytes).unwrap();
+    let out = hyt()
+        .args(["scrub", "--index"])
+        .arg(&pages)
+        .args(["--meta"])
+        .arg(&meta)
+        .output()
+        .unwrap();
+    assert!(
+        !out.status.success(),
+        "scrub missed an injected bit flip: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("problem"));
+
     std::fs::remove_dir_all(&dir).ok();
 }
 
