@@ -34,7 +34,7 @@ impl HybridTree<MemStorage> {
     /// Bulk-loads a collection into a fresh in-memory tree.
     ///
     /// Entries are `(point, oid)` pairs; duplicates are allowed. See the
-    /// [module docs](crate::bulk) for the algorithm.
+    /// `bulk` module docs for the algorithm.
     pub fn bulk_load(entries: Vec<(Point, u64)>, cfg: HybridTreeConfig) -> IndexResult<Self> {
         let storage = MemStorage::with_page_size(cfg.page_size);
         Self::bulk_load_into(storage, cfg, entries)

@@ -21,7 +21,7 @@
 use crate::node::Node;
 use crate::tree::HybridTree;
 use hyt_geom::{Metric, Point, Rect};
-use hyt_index::{check_dim, IndexResult};
+use hyt_index::{check_dim, IndexResult, QueryContext};
 use hyt_page::{IoStats, PageId, Storage};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -73,6 +73,7 @@ pub struct NearestIter<'t, 'm, S: Storage> {
     q: Point,
     heap: BinaryHeap<QueueItem>,
     io: IoStats,
+    ctx: QueryContext,
 }
 
 impl<S: Storage> NearestIter<'_, '_, S> {
@@ -80,6 +81,19 @@ impl<S: Storage> NearestIter<'_, '_, S> {
     pub fn io_stats(&self) -> IoStats {
         self.io
     }
+
+    /// Governs all subsequent pulls with `ctx`: every page fetch the
+    /// cursor performs first passes the context's cancel / deadline /
+    /// read-budget checks. A denied fetch surfaces from
+    /// [`next`](Self::next) as a typed
+    /// [`PageError::Interrupted`](hyt_page::PageError::Interrupted)
+    /// error; entries already emitted stay valid, and the cursor can
+    /// resume if the caller swaps in a fresh context.
+    pub fn with_context(mut self, ctx: QueryContext) -> Self {
+        self.ctx = ctx;
+        self
+    }
+
     /// Pulls the next-nearest entry, or `None` when exhausted.
     ///
     /// (Not the `Iterator` trait: page reads can fail, so the signature
@@ -91,7 +105,20 @@ impl<S: Storage> NearestIter<'_, '_, S> {
             match item.payload {
                 Payload::Entry { oid } => return Ok(Some((oid, item.dist))),
                 Payload::Node { pid, region } => {
-                    match self.tree.read_node_tracked(pid, &mut self.io)? {
+                    let node = self.tree.read_node_ctx(pid, &mut self.io, &self.ctx);
+                    if node.is_err() {
+                        // Re-queue the unexpanded node so a caller
+                        // that clears the interrupt can resume.
+                        self.heap.push(QueueItem {
+                            dist: item.dist,
+                            is_node: true,
+                            payload: Payload::Node {
+                                pid,
+                                region: region.clone(),
+                            },
+                        });
+                    }
+                    match node? {
                         Node::Data(entries) => {
                             for e in entries {
                                 let d = self.metric.distance(&self.q, &e.point);
@@ -155,7 +182,7 @@ impl<S: Storage> NearestIter<'_, '_, S> {
 
 impl<S: Storage> HybridTree<S> {
     /// Opens an incremental nearest-neighbor cursor at `q` under
-    /// `metric` (ranked retrieval; see [module docs](self)).
+    /// `metric` (ranked retrieval; see the `iter` module docs).
     pub fn nearest_iter<'t, 'm>(
         &'t self,
         q: &Point,
@@ -179,6 +206,7 @@ impl<S: Storage> HybridTree<S> {
             q: q.clone(),
             heap,
             io: IoStats::default(),
+            ctx: QueryContext::default(),
         })
     }
 
@@ -350,6 +378,47 @@ mod tests {
         assert_eq!(got.len(), 12);
         for (g, w) in got.iter().zip(&want) {
             assert!((g.1 - w.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn governed_cursor_interrupts_and_resumes() {
+        use hyt_index::Interrupt;
+        use hyt_page::PageError;
+
+        let (t, pts) = build(500, 3, 8);
+        let q = Point::new(vec![0.5, 0.5, 0.5]);
+        // A 2-read budget is not enough to reach the first leaf entry in
+        // a 500-point tree on 256-byte pages.
+        let mut it = t
+            .nearest_iter(&q, &L2)
+            .unwrap()
+            .with_context(QueryContext::default().with_max_reads(2));
+        let mut count = 0;
+        let err = loop {
+            match it.next() {
+                Ok(Some(_)) => count += 1,
+                Ok(None) => panic!("budget must run out before exhaustion"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(
+            e_interrupt(&err),
+            Some(Interrupt::BudgetExhausted)
+        ));
+        // Clearing the context resumes the cursor; the full stream still
+        // visits every entry.
+        let mut it = it.with_context(QueryContext::default());
+        while it.next().unwrap().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, pts.len());
+
+        fn e_interrupt(e: &hyt_index::IndexError) -> Option<Interrupt> {
+            match e {
+                hyt_index::IndexError::Storage(PageError::Interrupted(i)) => Some(*i),
+                _ => None,
+            }
         }
     }
 

@@ -7,7 +7,10 @@ use crate::node::{data_capacity, DataEntry, Node, INDEX_HEADER_BYTES};
 use crate::split::{build_kd, split_data, split_index};
 use crate::view::NodeView;
 use hyt_geom::{Coord, Metric, Point, Rect};
-use hyt_index::{check_dim, IndexError, IndexResult, MultidimIndex, StructureStats};
+use hyt_index::{
+    apply_result_cap, check_dim, settle_interrupt, DegradeReason, IndexError, IndexResult,
+    MultidimIndex, QueryContext, QueryOutcome, StructureStats,
+};
 use hyt_page::{BufferPool, IoStats, MemStorage, PageError, PageId, Storage};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -230,11 +233,24 @@ impl<S: Storage> HybridTree<S> {
         Ok(Node::decode(&buf, self.dim)?)
     }
 
-    /// Reads a node, attributing the page access to `io` (per-query I/O
-    /// accounting for concurrent search).
-    pub(crate) fn read_node_tracked(&self, pid: PageId, io: &mut IoStats) -> IndexResult<Node> {
-        let buf = self.pool.read_tracked(pid, io)?;
+    /// Governed node read: `ctx` must admit the fetch (cancel, deadline,
+    /// read budget) or this fails with an interrupt before touching the
+    /// pool.
+    pub(crate) fn read_node_ctx(
+        &self,
+        pid: PageId,
+        io: &mut IoStats,
+        ctx: &QueryContext,
+    ) -> IndexResult<Node> {
+        let buf = self.pool.read_tracked_ctx(pid, io, ctx)?;
         Ok(Node::decode(&buf, self.dim)?)
+    }
+
+    /// Resident and pinned frame counts of the tree's buffer pool
+    /// (`(resident, pinned)`), exposed for resource-governance tests:
+    /// an interrupted traversal must leave no pins behind.
+    pub fn pool_residency(&self) -> (usize, usize) {
+        (self.pool.resident_frames(), self.pool.pinned_frames())
     }
 
     fn write_node(&mut self, pid: PageId, node: &Node) -> IndexResult<()> {
@@ -575,6 +591,15 @@ impl Ord for PqNode {
     }
 }
 
+/// Drains a kNN candidate heap into `(oid, dist)` pairs sorted by
+/// ascending distance (ties by oid). Used both for complete answers and
+/// for the best-so-far payload of an interrupted query.
+fn sorted_hits(best: BinaryHeap<HeapHit>) -> Vec<(u64, f64)> {
+    let mut hits: Vec<(u64, f64)> = best.into_iter().map(|h| (h.oid, h.dist)).collect();
+    hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    hits
+}
+
 impl<S: Storage> MultidimIndex for HybridTree<S> {
     fn name(&self) -> &'static str {
         "hybrid"
@@ -617,21 +642,36 @@ impl<S: Storage> MultidimIndex for HybridTree<S> {
         }
     }
 
-    fn box_query_counted(&self, rect: &Rect) -> IndexResult<(Vec<u64>, IoStats)> {
+    fn box_query_ctx(
+        &self,
+        rect: &Rect,
+        ctx: &QueryContext,
+    ) -> IndexResult<(QueryOutcome<Vec<u64>>, IoStats)> {
         check_dim(self.dim, rect.dim())?;
         let mut io = IoStats::default();
         if self.len == 0 {
-            return Ok((Vec::new(), io));
+            return Ok((QueryOutcome::Complete(Vec::new()), io));
         }
         let mut out = Vec::new();
         let mut stack = vec![self.root];
         let mut kids = Vec::new();
         while let Some(pid) = stack.pop() {
-            let buf = self.pool.read_tracked(pid, &mut io)?;
+            let buf = match self.pool.read_tracked_ctx(pid, &mut io, ctx) {
+                Ok(buf) => buf,
+                Err(e) => return settle_interrupt(e.into(), out, io),
+            };
             // Navigate the serialized node in place (paper §3.1: kd-based
             // intra-node search beats scanning an array of BRs).
             match NodeView::parse(&buf, self.dim)? {
-                NodeView::Data(view) => view.filter_box(rect, &mut out),
+                NodeView::Data(view) => {
+                    view.filter_box(rect, &mut out);
+                    if apply_result_cap(ctx, &mut out, !stack.is_empty()) {
+                        return Ok((
+                            QueryOutcome::degraded(out, DegradeReason::BudgetExhausted),
+                            io,
+                        ));
+                    }
+                }
                 NodeView::Index(view) => {
                     // Two-step overlap check (paper §3.4): the kd split
                     // positions prune first; the quantized live-space BR
@@ -642,19 +682,20 @@ impl<S: Storage> MultidimIndex for HybridTree<S> {
                 }
             }
         }
-        Ok((out, io))
+        Ok((QueryOutcome::Complete(out), io))
     }
 
-    fn distance_range_counted(
+    fn distance_range_ctx(
         &self,
         q: &Point,
         radius: f64,
         metric: &dyn Metric,
-    ) -> IndexResult<(Vec<u64>, IoStats)> {
+        ctx: &QueryContext,
+    ) -> IndexResult<(QueryOutcome<Vec<u64>>, IoStats)> {
         check_dim(self.dim, q.dim())?;
         let mut io = IoStats::default();
         if self.len == 0 {
-            return Ok((Vec::new(), io));
+            return Ok((QueryOutcome::Complete(Vec::new()), io));
         }
         let mut out = Vec::new();
         if self.els.enabled() {
@@ -663,7 +704,10 @@ impl<S: Storage> MultidimIndex for HybridTree<S> {
             let mut stack = vec![self.root];
             let mut kids = Vec::new();
             while let Some(pid) = stack.pop() {
-                let buf = self.pool.read_tracked(pid, &mut io)?;
+                let buf = match self.pool.read_tracked_ctx(pid, &mut io, ctx) {
+                    Ok(buf) => buf,
+                    Err(e) => return settle_interrupt(e.into(), out, io),
+                };
                 match NodeView::parse(&buf, self.dim)? {
                     NodeView::Index(view) => {
                         kids.clear();
@@ -690,44 +734,64 @@ impl<S: Storage> MultidimIndex for HybridTree<S> {
                                 .filter(|e| metric.distance(q, &e.point) <= radius)
                                 .map(|e| e.oid),
                         );
+                        if apply_result_cap(ctx, &mut out, !stack.is_empty()) {
+                            return Ok((
+                                QueryOutcome::degraded(out, DegradeReason::BudgetExhausted),
+                                io,
+                            ));
+                        }
                     }
                 }
             }
-            return Ok((out, io));
+            return Ok((QueryOutcome::Complete(out), io));
         }
         // ELS disabled: prune with kd-regions tracked down the tree.
         let region = self.root_region();
         let mut stack = vec![(self.root, region)];
         while let Some((pid, region)) = stack.pop() {
-            match self.read_node_tracked(pid, &mut io)? {
-                Node::Data(entries) => out.extend(
-                    entries
-                        .iter()
-                        .filter(|e| metric.distance(q, &e.point) <= radius)
-                        .map(|e| e.oid),
-                ),
-                Node::Index { kd, .. } => {
+            match self.read_node_ctx(pid, &mut io, ctx) {
+                Ok(Node::Data(entries)) => {
+                    out.extend(
+                        entries
+                            .iter()
+                            .filter(|e| metric.distance(q, &e.point) <= radius)
+                            .map(|e| e.oid),
+                    );
+                    if apply_result_cap(ctx, &mut out, !stack.is_empty()) {
+                        return Ok((
+                            QueryOutcome::degraded(out, DegradeReason::BudgetExhausted),
+                            io,
+                        ));
+                    }
+                }
+                Ok(Node::Index { kd, .. }) => {
                     for (child, child_region) in kd.children_with_regions(&region) {
                         if metric.min_dist_rect(q, &child_region) <= radius {
                             stack.push((child, child_region));
                         }
                     }
                 }
+                Err(e) => return settle_interrupt(e, out, io),
             }
         }
-        Ok((out, io))
+        Ok((QueryOutcome::Complete(out), io))
     }
 
-    fn knn_counted(
+    fn knn_ctx(
         &self,
         q: &Point,
         k: usize,
         metric: &dyn Metric,
-    ) -> IndexResult<(Vec<(u64, f64)>, IoStats)> {
+        ctx: &QueryContext,
+    ) -> IndexResult<(QueryOutcome<Vec<(u64, f64)>>, IoStats)> {
         check_dim(self.dim, q.dim())?;
         let mut io = IoStats::default();
+        // A result cap below k clamps k: the traversal then finds the
+        // true cap-nearest neighbors, reported as budget-degraded.
+        let clamped = ctx.max_results.is_some_and(|m| m < k);
+        let k = ctx.max_results.map_or(k, |m| k.min(m));
         if k == 0 || self.len == 0 {
-            return Ok((Vec::new(), io));
+            return Ok((QueryOutcome::Complete(Vec::new()), io));
         }
         let mut pq: BinaryHeap<PqNode> = BinaryHeap::new();
         let mut best: BinaryHeap<HeapHit> = BinaryHeap::new();
@@ -740,8 +804,9 @@ impl<S: Storage> MultidimIndex for HybridTree<S> {
             if best.len() == k && item.dist > best.peek().unwrap().dist {
                 break;
             }
-            match self.read_node_tracked(item.pid, &mut io)? {
-                Node::Data(entries) => {
+            match self.read_node_ctx(item.pid, &mut io, ctx) {
+                Err(e) => return settle_interrupt(e, sorted_hits(best), io),
+                Ok(Node::Data(entries)) => {
                     for e in entries {
                         let d = metric.distance(q, &e.point);
                         if best.len() < k {
@@ -758,7 +823,7 @@ impl<S: Storage> MultidimIndex for HybridTree<S> {
                         }
                     }
                 }
-                Node::Index { kd, .. } => {
+                Ok(Node::Index { kd, .. }) => {
                     if self.els.enabled() {
                         // Quantized live boxes bound every child; regions
                         // are not needed.
@@ -790,9 +855,14 @@ impl<S: Storage> MultidimIndex for HybridTree<S> {
                 }
             }
         }
-        let mut hits: Vec<(u64, f64)> = best.into_iter().map(|h| (h.oid, h.dist)).collect();
-        hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-        Ok((hits, io))
+        let hits = sorted_hits(best);
+        if clamped {
+            return Ok((
+                QueryOutcome::degraded(hits, DegradeReason::BudgetExhausted),
+                io,
+            ));
+        }
+        Ok((QueryOutcome::Complete(hits), io))
     }
 
     fn io_stats(&self) -> IoStats {

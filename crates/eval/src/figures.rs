@@ -10,13 +10,13 @@
 
 use crate::report::{fnum, FigureReport};
 use crate::runner::{
-    build_engine, compare_box, compare_distance, run_box_queries, CompareRow, Engine,
+    build_engine, compare_box_ctx, compare_distance_ctx, run_box_queries, CompareRow, Engine,
 };
 use crate::scale::Scale;
 use hybrid_tree::{HybridTree, HybridTreeConfig, SplitPolicy};
 use hyt_data::{clustered, colhist, fourier, BoxWorkload, DistanceWorkload};
 use hyt_geom::Point;
-use hyt_index::{IndexResult, MultidimIndex};
+use hyt_index::{DegradeReason, IndexResult, MultidimIndex, QueryContext, QueryOutcome};
 use hyt_kdbtree::{KdbTree, KdbTreeConfig};
 use std::time::Instant;
 
@@ -62,6 +62,28 @@ fn comparison_columns() -> Vec<&'static str> {
     ]
 }
 
+/// Folds one configuration's governed comparison into the report.
+/// Returns the degrade reason if the run was cut short — the driver
+/// then records what was skipped and stops instead of starting the next
+/// (potentially slower) configuration.
+fn push_rows_ctx(
+    report: &mut FigureReport,
+    prefix: &str,
+    outcome: QueryOutcome<Vec<CompareRow>>,
+) -> Option<DegradeReason> {
+    let reason = outcome.degrade_reason();
+    push_rows(report, prefix, outcome.results());
+    reason
+}
+
+/// Records that a governed figure run stopped early and which
+/// configuration it stopped at.
+fn note_aborted(report: &mut FigureReport, reason: DegradeReason, config: &str) {
+    report.note(format!(
+        "run aborted ({reason}) at config {config}; remaining configurations skipped"
+    ));
+}
+
 /// Figure 5(a,b): EDA-optimal vs VAMSplit node splitting — average disk
 /// accesses and CPU time per query vs COLHIST dimensionality.
 pub fn fig5ab(scale: &Scale) -> IndexResult<FigureReport> {
@@ -75,8 +97,8 @@ pub fn fig5ab(scale: &Scale) -> IndexResult<FigureReport> {
             ("eda-optimal", Engine::Hybrid),
             ("vam-split", Engine::HybridVam),
         ] {
-            let (mut idx, _) = build_engine(engine, &data)?;
-            let cost = run_box_queries(idx.as_mut(), &wl.queries)?;
+            let (idx, _) = build_engine(engine, &data)?;
+            let cost = run_box_queries(idx.as_ref(), &wl.queries)?;
             rep.row(vec![
                 dim.to_string(),
                 label.into(),
@@ -112,7 +134,7 @@ pub fn fig5c(scale: &Scale) -> IndexResult<FigureReport> {
             for (i, p) in data.iter().enumerate() {
                 tree.insert(p.clone(), i as u64)?;
             }
-            let cost = run_box_queries(&mut tree, &wl.queries)?;
+            let cost = run_box_queries(&tree, &wl.queries)?;
             rep.row(vec![
                 dim.to_string(),
                 bits.to_string(),
@@ -128,6 +150,14 @@ pub fn fig5c(scale: &Scale) -> IndexResult<FigureReport> {
 /// Figure 6(a,b): normalized I/O and CPU cost vs dimensionality on
 /// FOURIER — hybrid vs hB-tree vs SR-tree vs linear scan.
 pub fn fig6ab(scale: &Scale) -> IndexResult<FigureReport> {
+    fig6ab_ctx(scale, QueryContext::unlimited())
+}
+
+/// Governed [`fig6ab`]: the deadline/cancel in `ctx` is checked between
+/// engines and at page-fetch granularity inside each workload, so a run
+/// stuck on one slow engine aborts cleanly with the rows measured so
+/// far (plus a note recording the abort).
+pub fn fig6ab_ctx(scale: &Scale, ctx: &QueryContext) -> IndexResult<FigureReport> {
     let mut rep = FigureReport::new(
         "Figure 6(a,b): scalability with dimensionality (FOURIER box queries)",
         comparison_columns(),
@@ -140,12 +170,16 @@ pub fn fig6ab(scale: &Scale) -> IndexResult<FigureReport> {
             Scale::FOURIER_SELECTIVITY,
             scale.seed ^ 0xf00,
         );
-        let rows = compare_box(
+        let outcome = compare_box_ctx(
             &[Engine::Hybrid, Engine::Hb, Engine::Sr],
             &data,
             &wl.queries,
+            ctx,
         )?;
-        push_rows(&mut rep, &format!("{dim}-d"), &rows);
+        if let Some(reason) = push_rows_ctx(&mut rep, &format!("{dim}-d"), outcome) {
+            note_aborted(&mut rep, reason, &format!("{dim}-d"));
+            return Ok(rep);
+        }
     }
     rep.note("paper shape: hybrid < hB < 0.1 (scan) < SR in I/O at higher dims; hybrid lowest CPU");
     Ok(rep)
@@ -154,18 +188,27 @@ pub fn fig6ab(scale: &Scale) -> IndexResult<FigureReport> {
 /// Figure 6(c,d): normalized I/O and CPU cost vs dimensionality on
 /// COLHIST.
 pub fn fig6cd(scale: &Scale) -> IndexResult<FigureReport> {
+    fig6cd_ctx(scale, QueryContext::unlimited())
+}
+
+/// Governed [`fig6cd`]; see [`fig6ab_ctx`].
+pub fn fig6cd_ctx(scale: &Scale, ctx: &QueryContext) -> IndexResult<FigureReport> {
     let mut rep = FigureReport::new(
         "Figure 6(c,d): scalability with dimensionality (COLHIST box queries)",
         comparison_columns(),
     );
     for dim in COLHIST_DIMS {
         let (data, wl) = colhist_workload(scale, dim, scale.colhist_n);
-        let rows = compare_box(
+        let outcome = compare_box_ctx(
             &[Engine::Hybrid, Engine::HybridBulk, Engine::Hb, Engine::Sr],
             &data,
             &wl.queries,
+            ctx,
         )?;
-        push_rows(&mut rep, &format!("{dim}-d"), &rows);
+        if let Some(reason) = push_rows_ctx(&mut rep, &format!("{dim}-d"), outcome) {
+            note_aborted(&mut rep, reason, &format!("{dim}-d"));
+            return Ok(rep);
+        }
     }
     rep.note("paper shape: hybrid wins at all dims; SR-tree degrades fastest with dimensionality");
     rep.note(
@@ -177,18 +220,27 @@ pub fn fig6cd(scale: &Scale) -> IndexResult<FigureReport> {
 /// Figure 7(a,b): normalized I/O and CPU cost vs database size
 /// (64-d COLHIST).
 pub fn fig7ab(scale: &Scale) -> IndexResult<FigureReport> {
+    fig7ab_ctx(scale, QueryContext::unlimited())
+}
+
+/// Governed [`fig7ab`]; see [`fig6ab_ctx`].
+pub fn fig7ab_ctx(scale: &Scale, ctx: &QueryContext) -> IndexResult<FigureReport> {
     let mut rep = FigureReport::new(
         "Figure 7(a,b): scalability with database size (64-d COLHIST box queries)",
         comparison_columns(),
     );
     for n in scale.size_sweep {
         let (data, wl) = colhist_workload(scale, 64, n);
-        let rows = compare_box(
+        let outcome = compare_box_ctx(
             &[Engine::Hybrid, Engine::Hb, Engine::Sr],
             &data,
             &wl.queries,
+            ctx,
         )?;
-        push_rows(&mut rep, &format!("n={n}"), &rows);
+        if let Some(reason) = push_rows_ctx(&mut rep, &format!("n={n}"), outcome) {
+            note_aborted(&mut rep, reason, &format!("n={n}"));
+            return Ok(rep);
+        }
     }
     rep.note("paper shape: hybrid an order of magnitude below others; its normalized cost falls as n grows (sublinear absolute cost)");
     Ok(rep)
@@ -197,6 +249,11 @@ pub fn fig7ab(scale: &Scale) -> IndexResult<FigureReport> {
 /// Figure 7(c,d): distance-based queries (L1 / Manhattan, as in MARS) —
 /// hybrid vs SR-tree vs scan (hB-tree unsupported, paper §4 footnote 2).
 pub fn fig7cd(scale: &Scale) -> IndexResult<FigureReport> {
+    fig7cd_ctx(scale, QueryContext::unlimited())
+}
+
+/// Governed [`fig7cd`]; see [`fig6ab_ctx`].
+pub fn fig7cd_ctx(scale: &Scale, ctx: &QueryContext) -> IndexResult<FigureReport> {
     let mut rep = FigureReport::new(
         "Figure 7(c,d): distance-based queries, L1 metric (COLHIST)",
         comparison_columns(),
@@ -212,14 +269,18 @@ pub fn fig7cd(scale: &Scale) -> IndexResult<FigureReport> {
             &hyt_geom::L1,
             scale.seed ^ 0xd15,
         );
-        let rows = compare_distance(
+        let outcome = compare_distance_ctx(
             &[Engine::Hybrid, Engine::Sr],
             &data,
             &wl.centers,
             wl.radius,
             &hyt_geom::L1,
+            ctx,
         )?;
-        push_rows(&mut rep, &format!("{dim}-d"), &rows);
+        if let Some(reason) = push_rows_ctx(&mut rep, &format!("{dim}-d"), outcome) {
+            note_aborted(&mut rep, reason, &format!("{dim}-d"));
+            return Ok(rep);
+        }
     }
     rep.note("paper shape: hybrid outperforms SR-tree and scan for L1 range queries at every dim");
     Ok(rep)
@@ -293,14 +354,14 @@ pub fn table2(scale: &Scale) -> IndexResult<FigureReport> {
     // Measured support: overlap fraction + ELS benefit on a small build.
     let data = colhist(scale.colhist_n.min(10_000), 32, scale.seed);
     let wl = BoxWorkload::calibrated(&data, scale.queries, Scale::COLHIST_SELECTIVITY, 3);
-    let (mut sr, _) = build_engine(Engine::Sr, &data)?;
-    let (mut kdb, _) = build_engine(Engine::Kdb, &data)?;
-    let (mut els0, _) = build_engine(Engine::HybridEls(0), &data)?;
-    let (mut els4, _) = build_engine(Engine::HybridEls(4), &data)?;
-    let a_sr = run_box_queries(sr.as_mut(), &wl.queries)?.avg_accesses;
-    let a_kdb = run_box_queries(kdb.as_mut(), &wl.queries)?.avg_accesses;
-    let a0 = run_box_queries(els0.as_mut(), &wl.queries)?.avg_accesses;
-    let a4 = run_box_queries(els4.as_mut(), &wl.queries)?.avg_accesses;
+    let (sr, _) = build_engine(Engine::Sr, &data)?;
+    let (kdb, _) = build_engine(Engine::Kdb, &data)?;
+    let (els0, _) = build_engine(Engine::HybridEls(0), &data)?;
+    let (els4, _) = build_engine(Engine::HybridEls(4), &data)?;
+    let a_sr = run_box_queries(sr.as_ref(), &wl.queries)?.avg_accesses;
+    let a_kdb = run_box_queries(kdb.as_ref(), &wl.queries)?.avg_accesses;
+    let a0 = run_box_queries(els0.as_ref(), &wl.queries)?.avg_accesses;
+    let a4 = run_box_queries(els4.as_ref(), &wl.queries)?.avg_accesses;
     rep.row(vec![
         "measured accesses/q (32-d)".into(),
         fnum(a_sr),
@@ -407,7 +468,7 @@ pub fn ablate_split_dim(scale: &Scale) -> IndexResult<FigureReport> {
             for (i, p) in data.iter().enumerate() {
                 tree.insert(p.clone(), i as u64)?;
             }
-            let cost = run_box_queries(&mut tree, &wl.queries)?;
+            let cost = run_box_queries(&tree, &wl.queries)?;
             let st = tree.structure_stats()?;
             rep.row(vec![
                 dim.to_string(),
@@ -444,7 +505,7 @@ pub fn ablate_split_pos(scale: &Scale) -> IndexResult<FigureReport> {
             for (i, p) in data.iter().enumerate() {
                 tree.insert(p.clone(), i as u64)?;
             }
-            let cost = run_box_queries(&mut tree, &wl.queries)?;
+            let cost = run_box_queries(&tree, &wl.queries)?;
             rep.row(vec![dim.to_string(), label.into(), fnum(cost.avg_accesses)]);
         }
     }
@@ -475,7 +536,7 @@ pub fn ablate_dim_elim(scale: &Scale) -> IndexResult<FigureReport> {
         for (i, p) in data.iter().enumerate() {
             tree.insert(p.clone(), i as u64)?;
         }
-        let cost = run_box_queries(&mut tree, &wl.queries)?;
+        let cost = run_box_queries(&tree, &wl.queries)?;
         let st = tree.structure_stats()?;
         rep.row(vec![
             label.into(),
@@ -512,7 +573,7 @@ pub fn ablate_overlap(scale: &Scale) -> IndexResult<FigureReport> {
         hybrid.insert(p.clone(), i as u64)?;
     }
     let _ = start;
-    let hc = run_box_queries(&mut hybrid, &wl.queries)?;
+    let hc = run_box_queries(&hybrid, &wl.queries)?;
     let hst = hybrid.structure_stats()?;
     rep.row(vec![
         "hybrid".into(),
@@ -527,7 +588,7 @@ pub fn ablate_overlap(scale: &Scale) -> IndexResult<FigureReport> {
     for (i, p) in data.iter().enumerate() {
         kdb.insert(p.clone(), i as u64)?;
     }
-    let kc = run_box_queries(&mut kdb, &wl.queries)?;
+    let kc = run_box_queries(&kdb, &wl.queries)?;
     let kst = kdb.structure_stats()?;
     let ks = kdb.split_stats();
     rep.row(vec![

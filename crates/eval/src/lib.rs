@@ -18,14 +18,18 @@
 //! crate exposes each as a `cargo bench` target that prints the
 //! regenerated table.
 
+mod admission;
 pub mod figures;
 mod report;
 mod runner;
 mod scale;
 
+pub use admission::{AdmissionGate, AdmissionPermit, Overloaded};
 pub use report::FigureReport;
 pub use runner::{
-    build_engine, compare_box, compare_distance, run_batch, run_batch_parallel, run_box_queries,
-    run_distance_queries, total_io, BatchAnswer, BatchQuery, CompareRow, Engine, QueryCost,
+    build_engine, compare_box, compare_box_ctx, compare_distance, compare_distance_ctx, run_batch,
+    run_batch_governed, run_batch_parallel, run_box_queries, run_box_queries_ctx,
+    run_distance_queries, run_distance_queries_ctx, total_io, BatchAnswer, BatchPolicy, BatchQuery,
+    CompareRow, Engine, GovernedAnswer, QueryCost, QueryStatus,
 };
 pub use scale::Scale;

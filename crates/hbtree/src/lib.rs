@@ -22,7 +22,7 @@
 //!
 //! * a posted path is grafted at exactly **one** parent fragment;
 //! * the splitting node keeps a **sibling redirect** for the extracted
-//!   corner (a [`Kd::Sibling`] leaf for index corners; a constraint list
+//!   corner (a `Kd::Sibling` leaf for index corners; a constraint list
 //!   in data pages for data corners), so traffic arriving through any
 //!   other fragment still reaches the moved content — at the price of an
 //!   extra page access, which the I/O counters measure honestly;
@@ -31,7 +31,10 @@
 //!   unsupported.
 
 use hyt_geom::{Coord, Metric, Point, Rect};
-use hyt_index::{check_dim, IndexError, IndexResult, MultidimIndex, StructureStats};
+use hyt_index::{
+    apply_result_cap, check_dim, settle_interrupt, DegradeReason, IndexError, IndexResult,
+    MultidimIndex, QueryContext, QueryOutcome, StructureStats,
+};
 use hyt_page::{
     BufferPool, ByteReader, ByteWriter, IoStats, MemStorage, PageError, PageId, PageResult,
     Storage, DEFAULT_PAGE_SIZE,
@@ -507,8 +510,13 @@ impl<S: Storage> HbTree<S> {
         Ok(HbNode::decode(&buf, self.dim)?)
     }
 
-    fn read_node_tracked(&self, pid: PageId, io: &mut IoStats) -> IndexResult<HbNode> {
-        let buf = self.pool.read_tracked(pid, io)?;
+    fn read_node_ctx(
+        &self,
+        pid: PageId,
+        io: &mut IoStats,
+        ctx: &QueryContext,
+    ) -> IndexResult<HbNode> {
+        let buf = self.pool.read_tracked_ctx(pid, io, ctx)?;
         Ok(HbNode::decode(&buf, self.dim)?)
     }
 
@@ -789,11 +797,14 @@ impl<S: Storage> HbTree<S> {
 
     /// Full traversal helper: every page overlapping `query`, visited
     /// once (children, sibling redirects, and data redirects included).
-    /// Page reads are attributed to `io`.
+    /// Page reads are attributed to `io` and admitted by `ctx`, so an
+    /// interrupt is observed within one pool read; `visit` returning
+    /// `true` stops the traversal early.
     fn for_each_overlapping<F>(
         &self,
         query: &Rect,
         io: &mut IoStats,
+        ctx: &QueryContext,
         mut visit: F,
     ) -> IndexResult<()>
     where
@@ -808,7 +819,7 @@ impl<S: Storage> HbTree<S> {
             if !visited.insert(pid) {
                 continue;
             }
-            match self.read_node_tracked(pid, io)? {
+            match self.read_node_ctx(pid, io, ctx)? {
                 HbNode::Data { entries, redirects } => {
                     if visit(&entries) {
                         return Ok(());
@@ -963,28 +974,46 @@ impl<S: Storage> MultidimIndex for HbTree<S> {
         Ok(false)
     }
 
-    fn box_query_counted(&self, rect: &Rect) -> IndexResult<(Vec<u64>, IoStats)> {
+    fn box_query_ctx(
+        &self,
+        rect: &Rect,
+        ctx: &QueryContext,
+    ) -> IndexResult<(QueryOutcome<Vec<u64>>, IoStats)> {
         check_dim(self.dim, rect.dim())?;
         let mut out = Vec::new();
         let mut io = IoStats::default();
-        self.for_each_overlapping(rect, &mut io, |entries| {
+        let mut capped = false;
+        let walk = self.for_each_overlapping(rect, &mut io, ctx, |entries| {
             out.extend(
                 entries
                     .iter()
                     .filter(|(p, _)| rect.contains_point(p))
                     .map(|(_, oid)| *oid),
             );
-            false
-        })?;
-        Ok((out, io))
+            // The redirect graph hides how much work remains, so landing
+            // exactly on the cap conservatively stops and degrades.
+            capped = apply_result_cap(ctx, &mut out, true);
+            capped
+        });
+        if let Err(e) = walk {
+            return settle_interrupt(e, out, io);
+        }
+        if capped {
+            return Ok((
+                QueryOutcome::degraded(out, DegradeReason::BudgetExhausted),
+                io,
+            ));
+        }
+        Ok((QueryOutcome::Complete(out), io))
     }
 
-    fn distance_range_counted(
+    fn distance_range_ctx(
         &self,
         _q: &Point,
         _radius: f64,
         _metric: &dyn Metric,
-    ) -> IndexResult<(Vec<u64>, IoStats)> {
+        _ctx: &QueryContext,
+    ) -> IndexResult<(QueryOutcome<Vec<u64>>, IoStats)> {
         // Paper §4, footnote 2: the hB-tree is excluded from the
         // distance-query experiments because it does not support them.
         Err(IndexError::Unsupported(
@@ -992,12 +1021,13 @@ impl<S: Storage> MultidimIndex for HbTree<S> {
         ))
     }
 
-    fn knn_counted(
+    fn knn_ctx(
         &self,
         _q: &Point,
         _k: usize,
         _metric: &dyn Metric,
-    ) -> IndexResult<(Vec<(u64, f64)>, IoStats)> {
+        _ctx: &QueryContext,
+    ) -> IndexResult<(QueryOutcome<Vec<(u64, f64)>>, IoStats)> {
         Err(IndexError::Unsupported(
             "hB-tree does not support distance-based search (paper §4)",
         ))

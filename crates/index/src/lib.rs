@@ -10,6 +10,8 @@ use hyt_geom::{Metric, Point, Rect};
 use hyt_page::{IoStats, PageError};
 use std::fmt;
 
+pub use hyt_page::{CancelToken, Interrupt, QueryContext};
+
 /// Errors surfaced by index operations.
 #[derive(Debug)]
 pub enum IndexError {
@@ -25,6 +27,9 @@ pub enum IndexError {
     Unsupported(&'static str),
     /// An error from the storage substrate.
     Storage(PageError),
+    /// An operation that infers properties from its input (e.g.
+    /// dimensionality from the first point) received an empty dataset.
+    EmptyDataset(&'static str),
     /// The structure detected an internal inconsistency.
     Internal(String),
 }
@@ -43,6 +48,7 @@ impl fmt::Display for IndexError {
             }
             IndexError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
             IndexError::Storage(e) => write!(f, "storage error: {e}"),
+            IndexError::EmptyDataset(what) => write!(f, "empty dataset: {what}"),
             IndexError::Internal(msg) => write!(f, "internal index error: {msg}"),
         }
     }
@@ -70,6 +76,156 @@ impl IndexError {
     /// needs a rebuild, everything else is retryable or a caller bug.
     pub fn is_corruption(&self) -> bool {
         matches!(self, IndexError::Storage(PageError::Corrupt(_)))
+    }
+
+    /// If this error is a governed-read denial, the [`Interrupt`] that
+    /// caused it. Engines use this to tell "the query was told to stop"
+    /// (return partial results as [`QueryOutcome::Degraded`]) apart from
+    /// real storage failures (propagate).
+    pub fn interrupt(&self) -> Option<Interrupt> {
+        match self {
+            IndexError::Storage(PageError::Interrupted(i)) => Some(*i),
+            _ => None,
+        }
+    }
+}
+
+/// Why a governed query returned [`QueryOutcome::Degraded`] instead of a
+/// complete answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The [`QueryContext`] deadline passed mid-traversal.
+    DeadlineExceeded,
+    /// A budget ran out: the logical-read budget mid-traversal, or the
+    /// result-cardinality cap was reached.
+    BudgetExhausted,
+    /// The query's [`CancelToken`] was triggered.
+    Cancelled,
+    /// Transient storage faults persisted through every retry the runner
+    /// was allowed (produced by the `hyt-eval` governed batch runner,
+    /// never by the engines themselves — an engine surfaces transient
+    /// I/O as an error and lets the runner decide whether to retry).
+    RetriesExhausted,
+}
+
+impl fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradeReason::DeadlineExceeded => write!(f, "deadline exceeded"),
+            DegradeReason::BudgetExhausted => write!(f, "budget exhausted"),
+            DegradeReason::Cancelled => write!(f, "cancelled"),
+            DegradeReason::RetriesExhausted => write!(f, "retries exhausted"),
+        }
+    }
+}
+
+impl From<Interrupt> for DegradeReason {
+    fn from(i: Interrupt) -> Self {
+        match i {
+            Interrupt::Cancelled => DegradeReason::Cancelled,
+            Interrupt::DeadlineExceeded => DegradeReason::DeadlineExceeded,
+            Interrupt::BudgetExhausted => DegradeReason::BudgetExhausted,
+        }
+    }
+}
+
+/// Result of a governed query: either the complete answer, or whatever
+/// the traversal had accumulated when a limit stopped it.
+///
+/// `Degraded` is a *successful* return, not an error: the partial
+/// results are real entries (for box and distance-range queries, a
+/// subset of the true answer; for kNN, the best candidates found so
+/// far, which may not be the true nearest) and the index itself is
+/// healthy. Hard failures — corruption, misuse, unrecoverable I/O —
+/// still surface as [`IndexError`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryOutcome<T> {
+    /// The query ran to completion; the answer is exact.
+    Complete(T),
+    /// A limit stopped the traversal early.
+    Degraded {
+        /// Results accumulated before the interrupt.
+        partial: T,
+        /// Which limit stopped the query.
+        reason: DegradeReason,
+    },
+}
+
+impl<T> QueryOutcome<T> {
+    /// Builds a degraded outcome.
+    pub fn degraded(partial: T, reason: DegradeReason) -> Self {
+        QueryOutcome::Degraded { partial, reason }
+    }
+
+    /// Whether the query ran to completion.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, QueryOutcome::Complete(_))
+    }
+
+    /// The degrade reason, if any.
+    pub fn degrade_reason(&self) -> Option<DegradeReason> {
+        match self {
+            QueryOutcome::Complete(_) => None,
+            QueryOutcome::Degraded { reason, .. } => Some(*reason),
+        }
+    }
+
+    /// Unwraps the payload, complete or partial.
+    pub fn into_results(self) -> T {
+        match self {
+            QueryOutcome::Complete(t) => t,
+            QueryOutcome::Degraded { partial, .. } => partial,
+        }
+    }
+
+    /// Borrows the payload, complete or partial.
+    pub fn results(&self) -> &T {
+        match self {
+            QueryOutcome::Complete(t) => t,
+            QueryOutcome::Degraded { partial, .. } => partial,
+        }
+    }
+
+    /// Maps the payload, preserving completeness.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> QueryOutcome<U> {
+        match self {
+            QueryOutcome::Complete(t) => QueryOutcome::Complete(f(t)),
+            QueryOutcome::Degraded { partial, reason } => QueryOutcome::Degraded {
+                partial: f(partial),
+                reason,
+            },
+        }
+    }
+}
+
+/// Engine-side helper for the result-cardinality cap: truncates `out`
+/// to the cap and reports whether the traversal must stop and degrade.
+/// Landing *exactly* on the cap with no work left is still a complete
+/// answer; exceeding it, or reaching it with nodes still unvisited,
+/// degrades.
+pub fn apply_result_cap<T>(ctx: &QueryContext, out: &mut Vec<T>, more_work: bool) -> bool {
+    match ctx.max_results {
+        Some(cap) if out.len() > cap => {
+            out.truncate(cap);
+            true
+        }
+        Some(cap) => out.len() == cap && more_work,
+        None => false,
+    }
+}
+
+/// Engine-side helper for governed traversals: if `err` is an interrupt,
+/// settle it into a `Degraded` outcome carrying `partial`; otherwise
+/// re-raise. Keeps the "degrade only on interrupts, propagate real
+/// failures" policy in one place instead of five engines.
+pub fn settle_interrupt<T>(
+    err: IndexError,
+    partial: T,
+    io: IoStats,
+) -> IndexResult<(QueryOutcome<T>, IoStats)> {
+    match err.interrupt() {
+        Some(i) => Ok((QueryOutcome::degraded(partial, i.into()), io)),
+        None => Err(err),
     }
 }
 
@@ -149,7 +305,22 @@ pub trait MultidimIndex: Send + Sync {
     }
 
     /// [`box_query`](Self::box_query) plus the I/O this query incurred.
-    fn box_query_counted(&self, rect: &Rect) -> IndexResult<(Vec<u64>, IoStats)>;
+    fn box_query_counted(&self, rect: &Rect) -> IndexResult<(Vec<u64>, IoStats)> {
+        let (outcome, io) = self.box_query_ctx(rect, QueryContext::unlimited())?;
+        Ok((outcome.into_results(), io))
+    }
+
+    /// Governed window query: the traversal consults `ctx` before every
+    /// page fetch (cancel, deadline, logical-read budget) and after
+    /// every result batch (result-cardinality cap), so any limit is
+    /// observed within one pool read. A triggered limit yields
+    /// [`QueryOutcome::Degraded`] carrying the subset of the answer
+    /// found so far; storage failures still surface as [`IndexError`].
+    fn box_query_ctx(
+        &self,
+        rect: &Rect,
+        ctx: &QueryContext,
+    ) -> IndexResult<(QueryOutcome<Vec<u64>>, IoStats)>;
 
     /// Distance range query under an arbitrary metric: all oids within
     /// `radius` of `q`.
@@ -164,7 +335,22 @@ pub trait MultidimIndex: Send + Sync {
         q: &Point,
         radius: f64,
         metric: &dyn Metric,
-    ) -> IndexResult<(Vec<u64>, IoStats)>;
+    ) -> IndexResult<(Vec<u64>, IoStats)> {
+        let (outcome, io) =
+            self.distance_range_ctx(q, radius, metric, QueryContext::unlimited())?;
+        Ok((outcome.into_results(), io))
+    }
+
+    /// Governed distance range query (see
+    /// [`box_query_ctx`](Self::box_query_ctx) for the governance
+    /// contract). Degraded results are a subset of the true answer.
+    fn distance_range_ctx(
+        &self,
+        q: &Point,
+        radius: f64,
+        metric: &dyn Metric,
+        ctx: &QueryContext,
+    ) -> IndexResult<(QueryOutcome<Vec<u64>>, IoStats)>;
 
     /// k-nearest-neighbor query; returns `(oid, distance)` sorted by
     /// ascending distance (ties broken arbitrarily).
@@ -178,7 +364,24 @@ pub trait MultidimIndex: Send + Sync {
         q: &Point,
         k: usize,
         metric: &dyn Metric,
-    ) -> IndexResult<(Vec<(u64, f64)>, IoStats)>;
+    ) -> IndexResult<(Vec<(u64, f64)>, IoStats)> {
+        let (outcome, io) = self.knn_ctx(q, k, metric, QueryContext::unlimited())?;
+        Ok((outcome.into_results(), io))
+    }
+
+    /// Governed kNN query (see [`box_query_ctx`](Self::box_query_ctx)
+    /// for the governance contract). A `max_results` cap below `k`
+    /// clamps `k`. Degraded kNN results are the best candidates found
+    /// before the interrupt, sorted by distance — they are *not*
+    /// guaranteed to be the true nearest neighbors.
+    #[allow(clippy::type_complexity)]
+    fn knn_ctx(
+        &self,
+        q: &Point,
+        k: usize,
+        metric: &dyn Metric,
+        ctx: &QueryContext,
+    ) -> IndexResult<(QueryOutcome<Vec<(u64, f64)>>, IoStats)>;
 
     /// Pool-global I/O counters accumulated since the last reset.
     fn io_stats(&self) -> IoStats;
@@ -221,5 +424,70 @@ mod tests {
             .contains("distance search"));
         let e: IndexError = PageError::Corrupt("x".into()).into();
         assert!(matches!(e, IndexError::Storage(_)));
+        assert!(IndexError::EmptyDataset("need one point")
+            .to_string()
+            .contains("empty dataset"));
+    }
+
+    #[test]
+    fn query_outcome_accessors() {
+        let c = QueryOutcome::Complete(vec![1u64, 2]);
+        assert!(c.is_complete());
+        assert_eq!(c.degrade_reason(), None);
+        assert_eq!(c.results(), &vec![1, 2]);
+        assert_eq!(c.map(|v| v.len()).into_results(), 2);
+
+        let d = QueryOutcome::degraded(vec![1u64], DegradeReason::Cancelled);
+        assert!(!d.is_complete());
+        assert_eq!(d.degrade_reason(), Some(DegradeReason::Cancelled));
+        assert_eq!(d.into_results(), vec![1]);
+    }
+
+    #[test]
+    fn interrupts_map_to_degrade_reasons() {
+        assert_eq!(
+            DegradeReason::from(Interrupt::Cancelled),
+            DegradeReason::Cancelled
+        );
+        assert_eq!(
+            DegradeReason::from(Interrupt::DeadlineExceeded),
+            DegradeReason::DeadlineExceeded
+        );
+        assert_eq!(
+            DegradeReason::from(Interrupt::BudgetExhausted),
+            DegradeReason::BudgetExhausted
+        );
+    }
+
+    #[test]
+    fn result_cap_truncates_and_degrades() {
+        let ctx = QueryContext::default().with_max_results(2);
+        let mut over = vec![1u64, 2, 3];
+        assert!(apply_result_cap(&ctx, &mut over, false));
+        assert_eq!(over, vec![1, 2]);
+        // Exactly at the cap: complete if nothing is left to visit,
+        // degraded if the traversal would have continued.
+        let mut exact = vec![1u64, 2];
+        assert!(!apply_result_cap(&ctx, &mut exact, false));
+        assert!(apply_result_cap(&ctx, &mut exact, true));
+        // No cap: never degrades.
+        let mut any = vec![1u64; 10];
+        assert!(!apply_result_cap(QueryContext::unlimited(), &mut any, true));
+    }
+
+    #[test]
+    fn settle_interrupt_settles_only_interrupts() {
+        let io = IoStats::default();
+        let interrupted: IndexError = PageError::Interrupted(Interrupt::DeadlineExceeded).into();
+        assert!(interrupted.interrupt().is_some());
+        let (outcome, _) = settle_interrupt(interrupted, vec![7u64], io).unwrap();
+        assert_eq!(
+            outcome,
+            QueryOutcome::degraded(vec![7], DegradeReason::DeadlineExceeded)
+        );
+
+        let hard: IndexError = PageError::Corrupt("bad crc".into()).into();
+        assert!(hard.interrupt().is_none());
+        assert!(settle_interrupt(hard, vec![7u64], io).is_err());
     }
 }

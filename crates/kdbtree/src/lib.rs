@@ -23,7 +23,10 @@
 //! right, everywhere, so clean partitions stay clean under cascades.
 
 use hyt_geom::{Coord, Metric, Point, Rect};
-use hyt_index::{check_dim, IndexError, IndexResult, MultidimIndex, StructureStats};
+use hyt_index::{
+    apply_result_cap, check_dim, settle_interrupt, DegradeReason, IndexError, IndexResult,
+    MultidimIndex, QueryContext, QueryOutcome, StructureStats,
+};
 use hyt_page::{
     BufferPool, ByteReader, ByteWriter, IoStats, MemStorage, PageError, PageId, PageResult,
     Storage, DEFAULT_PAGE_SIZE,
@@ -353,8 +356,13 @@ impl<S: Storage> KdbTree<S> {
         Ok(KdbNode::decode(&buf, self.dim)?)
     }
 
-    fn read_node_tracked(&self, pid: PageId, io: &mut IoStats) -> IndexResult<KdbNode> {
-        let buf = self.pool.read_tracked(pid, io)?;
+    fn read_node_ctx(
+        &self,
+        pid: PageId,
+        io: &mut IoStats,
+        ctx: &QueryContext,
+    ) -> IndexResult<KdbNode> {
+        let buf = self.pool.read_tracked_ctx(pid, io, ctx)?;
         Ok(KdbNode::decode(&buf, self.dim)?)
     }
 
@@ -786,23 +794,36 @@ impl<S: Storage> MultidimIndex for KdbTree<S> {
         Ok(false)
     }
 
-    fn box_query_counted(&self, rect: &Rect) -> IndexResult<(Vec<u64>, IoStats)> {
+    fn box_query_ctx(
+        &self,
+        rect: &Rect,
+        ctx: &QueryContext,
+    ) -> IndexResult<(QueryOutcome<Vec<u64>>, IoStats)> {
         check_dim(self.dim, rect.dim())?;
         let mut io = IoStats::default();
         if self.len == 0 {
-            return Ok((Vec::new(), io));
+            return Ok((QueryOutcome::Complete(Vec::new()), io));
         }
         let mut out = Vec::new();
         let mut stack = vec![(self.root, self.root_region())];
         while let Some((pid, region)) = stack.pop() {
-            match self.read_node_tracked(pid, &mut io)? {
-                KdbNode::Data(entries) => out.extend(
-                    entries
-                        .iter()
-                        .filter(|(p, _)| rect.contains_point(p))
-                        .map(|(_, oid)| *oid),
-                ),
-                KdbNode::Index { kd, .. } => {
+            match self.read_node_ctx(pid, &mut io, ctx) {
+                Err(e) => return settle_interrupt(e, out, io),
+                Ok(KdbNode::Data(entries)) => {
+                    out.extend(
+                        entries
+                            .iter()
+                            .filter(|(p, _)| rect.contains_point(p))
+                            .map(|(_, oid)| *oid),
+                    );
+                    if apply_result_cap(ctx, &mut out, !stack.is_empty()) {
+                        return Ok((
+                            QueryOutcome::degraded(out, DegradeReason::BudgetExhausted),
+                            io,
+                        ));
+                    }
+                }
+                Ok(KdbNode::Index { kd, .. }) => {
                     let mut kids = Vec::new();
                     kd.children_with_regions(&region, &mut kids);
                     for (child, creg) in kids {
@@ -813,31 +834,41 @@ impl<S: Storage> MultidimIndex for KdbTree<S> {
                 }
             }
         }
-        Ok((out, io))
+        Ok((QueryOutcome::Complete(out), io))
     }
 
-    fn distance_range_counted(
+    fn distance_range_ctx(
         &self,
         q: &Point,
         radius: f64,
         metric: &dyn Metric,
-    ) -> IndexResult<(Vec<u64>, IoStats)> {
+        ctx: &QueryContext,
+    ) -> IndexResult<(QueryOutcome<Vec<u64>>, IoStats)> {
         check_dim(self.dim, q.dim())?;
         let mut io = IoStats::default();
         if self.len == 0 {
-            return Ok((Vec::new(), io));
+            return Ok((QueryOutcome::Complete(Vec::new()), io));
         }
         let mut out = Vec::new();
         let mut stack = vec![(self.root, self.root_region())];
         while let Some((pid, region)) = stack.pop() {
-            match self.read_node_tracked(pid, &mut io)? {
-                KdbNode::Data(entries) => out.extend(
-                    entries
-                        .iter()
-                        .filter(|(p, _)| metric.distance(q, p) <= radius)
-                        .map(|(_, oid)| *oid),
-                ),
-                KdbNode::Index { kd, .. } => {
+            match self.read_node_ctx(pid, &mut io, ctx) {
+                Err(e) => return settle_interrupt(e, out, io),
+                Ok(KdbNode::Data(entries)) => {
+                    out.extend(
+                        entries
+                            .iter()
+                            .filter(|(p, _)| metric.distance(q, p) <= radius)
+                            .map(|(_, oid)| *oid),
+                    );
+                    if apply_result_cap(ctx, &mut out, !stack.is_empty()) {
+                        return Ok((
+                            QueryOutcome::degraded(out, DegradeReason::BudgetExhausted),
+                            io,
+                        ));
+                    }
+                }
+                Ok(KdbNode::Index { kd, .. }) => {
                     let mut kids = Vec::new();
                     kd.children_with_regions(&region, &mut kids);
                     for (child, creg) in kids {
@@ -848,19 +879,22 @@ impl<S: Storage> MultidimIndex for KdbTree<S> {
                 }
             }
         }
-        Ok((out, io))
+        Ok((QueryOutcome::Complete(out), io))
     }
 
-    fn knn_counted(
+    fn knn_ctx(
         &self,
         q: &Point,
         k: usize,
         metric: &dyn Metric,
-    ) -> IndexResult<(Vec<(u64, f64)>, IoStats)> {
+        ctx: &QueryContext,
+    ) -> IndexResult<(QueryOutcome<Vec<(u64, f64)>>, IoStats)> {
         check_dim(self.dim, q.dim())?;
         let mut io = IoStats::default();
+        let clamped = ctx.max_results.is_some_and(|m| m < k);
+        let k = ctx.max_results.map_or(k, |m| k.min(m));
         if k == 0 || self.len == 0 {
-            return Ok((Vec::new(), io));
+            return Ok((QueryOutcome::Complete(Vec::new()), io));
         }
         let mut pq = BinaryHeap::new();
         // (dist, oid) results kept in a simple sorted vec (k is small).
@@ -874,8 +908,9 @@ impl<S: Storage> MultidimIndex for KdbTree<S> {
             if best.len() == k && item.dist > best.last().unwrap().1 {
                 break;
             }
-            match self.read_node_tracked(item.pid, &mut io)? {
-                KdbNode::Data(entries) => {
+            match self.read_node_ctx(item.pid, &mut io, ctx) {
+                Err(e) => return settle_interrupt(e, best, io),
+                Ok(KdbNode::Data(entries)) => {
                     for (p, oid) in entries {
                         let d = metric.distance(q, &p);
                         if best.len() < k {
@@ -888,7 +923,7 @@ impl<S: Storage> MultidimIndex for KdbTree<S> {
                         }
                     }
                 }
-                KdbNode::Index { kd, .. } => {
+                Ok(KdbNode::Index { kd, .. }) => {
                     let mut kids = Vec::new();
                     kd.children_with_regions(&item.region, &mut kids);
                     for (child, creg) in kids {
@@ -904,7 +939,13 @@ impl<S: Storage> MultidimIndex for KdbTree<S> {
                 }
             }
         }
-        Ok((best, io))
+        if clamped {
+            return Ok((
+                QueryOutcome::degraded(best, DegradeReason::BudgetExhausted),
+                io,
+            ));
+        }
+        Ok((QueryOutcome::Complete(best), io))
     }
 
     fn io_stats(&self) -> IoStats {

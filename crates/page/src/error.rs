@@ -1,6 +1,6 @@
 //! Error type for the storage substrate.
 
-use crate::PageId;
+use crate::{Interrupt, PageId};
 use std::fmt;
 
 /// Errors raised by page stores, buffer pools, and codecs.
@@ -22,6 +22,14 @@ pub enum PageError {
     Pinned(PageId),
     /// An error from the underlying file.
     Io(std::io::Error),
+    /// A governed read was denied by the query's [`QueryContext`]
+    /// (cancel, deadline, or read budget — see [`Interrupt`]). Not a
+    /// storage failure: the page and the pool are fine, the *query* has
+    /// been told to stop. Engines translate this into a `Degraded`
+    /// outcome carrying their partial results.
+    ///
+    /// [`QueryContext`]: crate::QueryContext
+    Interrupted(Interrupt),
 }
 
 /// Convenience alias for fallible storage operations.
@@ -37,6 +45,7 @@ impl fmt::Display for PageError {
             PageError::Corrupt(msg) => write!(f, "corrupt page: {msg}"),
             PageError::Pinned(id) => write!(f, "page {id} is pinned"),
             PageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            PageError::Interrupted(i) => write!(f, "query interrupted: {i}"),
         }
     }
 }

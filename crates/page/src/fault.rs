@@ -32,6 +32,7 @@ pub struct FaultScript {
     fail_reads: AtomicU64,
     flip_read_at: AtomicU64,
     flip_spec: AtomicU64,
+    delay_read_us: AtomicU64,
 }
 
 impl FaultScript {
@@ -44,6 +45,7 @@ impl FaultScript {
             fail_reads: AtomicU64::new(0),
             flip_read_at: AtomicU64::new(DISARMED),
             flip_spec: AtomicU64::new(0),
+            delay_read_us: AtomicU64::new(0),
         })
     }
 
@@ -60,6 +62,15 @@ impl FaultScript {
         self.fail_reads.store(n, SeqCst);
     }
 
+    /// Makes every subsequent physical read sleep for `micros`
+    /// microseconds before returning, modelling a slow device. Used by
+    /// the governance tests to prove that a cancel lands within one page
+    /// fetch: with reads pinned at a known latency, the time from
+    /// cancel to `Degraded` is bounded by a single read.
+    pub fn delay_reads(&self, micros: u64) {
+        self.delay_read_us.store(micros, SeqCst);
+    }
+
     /// Flips `mask` into byte `offset` of the buffer returned by read
     /// number `nth` (0-based, counted from storage creation).
     pub fn flip_on_read(&self, nth: u64, offset: usize, mask: u8) {
@@ -74,6 +85,7 @@ impl FaultScript {
         self.crash_at.store(DISARMED, SeqCst);
         self.fail_reads.store(0, SeqCst);
         self.flip_read_at.store(DISARMED, SeqCst);
+        self.delay_read_us.store(0, SeqCst);
     }
 
     /// Mutations observed so far (allocate + write + free + sync).
@@ -170,6 +182,10 @@ impl<S: Storage> Storage for FaultStorage<S> {
 
     fn read(&self, id: PageId, buf: &mut [u8]) -> PageResult<()> {
         let idx = self.script.reads.fetch_add(1, SeqCst);
+        let delay = self.script.delay_read_us.load(SeqCst);
+        if delay > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(delay));
+        }
         if self
             .script
             .fail_reads

@@ -28,6 +28,7 @@ mod crc;
 mod error;
 mod fault;
 mod frame;
+mod govern;
 mod pool;
 mod storage;
 
@@ -40,6 +41,7 @@ pub use frame::{
     encode_frame, inspect_frame, inspect_header, FrameStatus, HeaderStatus, FLAG_LIVE,
     FORMAT_VERSION, HEADER_BYTES as FRAME_HEADER_BYTES, PAGE_MAGIC,
 };
+pub use govern::{CancelToken, Interrupt, QueryContext};
 pub use pool::{BufferPool, IoStats, SHARDING_THRESHOLD};
 pub use storage::{FileStorage, MemStorage, Storage};
 

@@ -13,13 +13,13 @@
 //! experiments depend on that determinism. Large pools trade exact LRU
 //! for per-shard LRU to cut contention.
 
-use crate::{PageError, PageId, PageResult, Storage};
+use crate::{PageError, PageId, PageResult, QueryContext, Storage};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 /// Pools at least this large split their frame table into
-/// [`NUM_SHARDS`] shards; smaller pools keep one shard and exact LRU.
+/// `NUM_SHARDS` shards; smaller pools keep one shard and exact LRU.
 pub const SHARDING_THRESHOLD: usize = 128;
 
 /// Shard count for large pools (power of two; ids map by bitmask).
@@ -243,6 +243,17 @@ impl<S: Storage> BufferPool<S> {
         self.shards.iter().map(|s| s.lock().frames.len()).sum()
     }
 
+    /// Number of resident frames with at least one pin outstanding.
+    /// Query traversals never hold pins across page fetches, so this
+    /// returns to its baseline after every query — including one that
+    /// was interrupted mid-traversal (asserted by the governance tests).
+    pub fn pinned_frames(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().frames.values().filter(|f| f.pins > 0).count())
+            .sum()
+    }
+
     /// Current pool-global I/O counters.
     pub fn stats(&self) -> IoStats {
         self.stats.snapshot()
@@ -367,6 +378,33 @@ impl<S: Storage> BufferPool<S> {
     /// Sequential-path read attributed to `io` (see
     /// [`read_tracked`](Self::read_tracked)).
     pub fn read_sequential_tracked(&self, id: PageId, io: &mut IoStats) -> PageResult<Vec<u8>> {
+        self.read_impl(id, true, io)
+    }
+
+    /// Governed random read: asks `ctx` to admit one more fetch (cancel,
+    /// deadline, read budget against this query's own `io`) before going
+    /// to [`read_tracked`](Self::read_tracked). A denied fetch returns
+    /// [`PageError::Interrupted`] without touching the pool, so every
+    /// limit is observed at page-fetch granularity.
+    pub fn read_tracked_ctx(
+        &self,
+        id: PageId,
+        io: &mut IoStats,
+        ctx: &QueryContext,
+    ) -> PageResult<Vec<u8>> {
+        ctx.admit_read(io).map_err(PageError::Interrupted)?;
+        self.read_impl(id, false, io)
+    }
+
+    /// Governed sequential read (see
+    /// [`read_tracked_ctx`](Self::read_tracked_ctx)).
+    pub fn read_sequential_tracked_ctx(
+        &self,
+        id: PageId,
+        io: &mut IoStats,
+        ctx: &QueryContext,
+    ) -> PageResult<Vec<u8>> {
+        ctx.admit_read(io).map_err(PageError::Interrupted)?;
         self.read_impl(id, true, io)
     }
 

@@ -8,7 +8,10 @@
 //! which the paper's cost model discounts 10x relative to random accesses.
 
 use hyt_geom::{Metric, Point, Rect};
-use hyt_index::{check_dim, IndexResult, MultidimIndex, StructureStats};
+use hyt_index::{
+    apply_result_cap, check_dim, settle_interrupt, DegradeReason, IndexResult, MultidimIndex,
+    QueryContext, QueryOutcome, StructureStats,
+};
 use hyt_page::{BufferPool, ByteReader, ByteWriter, IoStats, MemStorage, PageId, Storage};
 
 /// Entries per page given the page and entry sizes.
@@ -99,13 +102,26 @@ impl<S: Storage> SeqScan<S> {
         w.into_inner()
     }
 
-    /// Runs `f` over every entry, reading pages sequentially; page reads
-    /// are attributed to `io`.
-    fn scan_all<F: FnMut(&Point, u64)>(&self, io: &mut IoStats, mut f: F) -> IndexResult<()> {
-        for &pid in &self.pages {
-            let buf = self.pool.read_sequential_tracked(pid, io)?;
-            for (p, oid) in self.decode_page(&buf)? {
-                f(&p, oid);
+    /// Runs `visit` over every page's entries in file order. Page reads
+    /// go through the sequential path, are attributed to `io`, and are
+    /// admitted by `ctx`, so an interrupt lands within one pool read.
+    /// `visit` receives `(entries, more_pages_remain)` and returns `true`
+    /// to stop the scan early.
+    fn scan_pages_ctx<F>(
+        &self,
+        io: &mut IoStats,
+        ctx: &QueryContext,
+        mut visit: F,
+    ) -> IndexResult<()>
+    where
+        F: FnMut(&[(Point, u64)], bool) -> bool,
+    {
+        let last = self.pages.len().saturating_sub(1);
+        for (i, &pid) in self.pages.iter().enumerate() {
+            let buf = self.pool.read_sequential_tracked_ctx(pid, io, ctx)?;
+            let entries = self.decode_page(&buf)?;
+            if visit(&entries, i < last) {
+                return Ok(());
             }
         }
         Ok(())
@@ -172,53 +188,105 @@ impl<S: Storage> MultidimIndex for SeqScan<S> {
         Ok(false)
     }
 
-    fn box_query_counted(&self, rect: &Rect) -> IndexResult<(Vec<u64>, IoStats)> {
+    fn box_query_ctx(
+        &self,
+        rect: &Rect,
+        ctx: &QueryContext,
+    ) -> IndexResult<(QueryOutcome<Vec<u64>>, IoStats)> {
         check_dim(self.dim, rect.dim())?;
         let mut out = Vec::new();
         let mut io = IoStats::default();
-        self.scan_all(&mut io, |p, oid| {
-            if rect.contains_point(p) {
-                out.push(oid);
-            }
-        })?;
-        Ok((out, io))
+        let mut capped = false;
+        let walk = self.scan_pages_ctx(&mut io, ctx, |entries, more| {
+            out.extend(
+                entries
+                    .iter()
+                    .filter(|(p, _)| rect.contains_point(p))
+                    .map(|(_, oid)| *oid),
+            );
+            capped = apply_result_cap(ctx, &mut out, more);
+            capped
+        });
+        if let Err(e) = walk {
+            return settle_interrupt(e, out, io);
+        }
+        if capped {
+            return Ok((
+                QueryOutcome::degraded(out, DegradeReason::BudgetExhausted),
+                io,
+            ));
+        }
+        Ok((QueryOutcome::Complete(out), io))
     }
 
-    fn distance_range_counted(
+    fn distance_range_ctx(
         &self,
         q: &Point,
         radius: f64,
         metric: &dyn Metric,
-    ) -> IndexResult<(Vec<u64>, IoStats)> {
+        ctx: &QueryContext,
+    ) -> IndexResult<(QueryOutcome<Vec<u64>>, IoStats)> {
         check_dim(self.dim, q.dim())?;
         let mut out = Vec::new();
         let mut io = IoStats::default();
-        self.scan_all(&mut io, |p, oid| {
-            if metric.distance(q, p) <= radius {
-                out.push(oid);
-            }
-        })?;
-        Ok((out, io))
+        let mut capped = false;
+        let walk = self.scan_pages_ctx(&mut io, ctx, |entries, more| {
+            out.extend(
+                entries
+                    .iter()
+                    .filter(|(p, _)| metric.distance(q, p) <= radius)
+                    .map(|(_, oid)| *oid),
+            );
+            capped = apply_result_cap(ctx, &mut out, more);
+            capped
+        });
+        if let Err(e) = walk {
+            return settle_interrupt(e, out, io);
+        }
+        if capped {
+            return Ok((
+                QueryOutcome::degraded(out, DegradeReason::BudgetExhausted),
+                io,
+            ));
+        }
+        Ok((QueryOutcome::Complete(out), io))
     }
 
-    fn knn_counted(
+    fn knn_ctx(
         &self,
         q: &Point,
         k: usize,
         metric: &dyn Metric,
-    ) -> IndexResult<(Vec<(u64, f64)>, IoStats)> {
+        ctx: &QueryContext,
+    ) -> IndexResult<(QueryOutcome<Vec<(u64, f64)>>, IoStats)> {
         check_dim(self.dim, q.dim())?;
         let mut io = IoStats::default();
+        let clamped = ctx.max_results.is_some_and(|m| m < k);
+        let k = ctx.max_results.map_or(k, |m| k.min(m));
         if k == 0 {
-            return Ok((Vec::new(), io));
+            return Ok((QueryOutcome::Complete(Vec::new()), io));
         }
         let mut hits: Vec<(u64, f64)> = Vec::new();
-        self.scan_all(&mut io, |p, oid| {
-            hits.push((oid, metric.distance(q, p)));
-        })?;
+        let walk = self.scan_pages_ctx(&mut io, ctx, |entries, _| {
+            for (p, oid) in entries {
+                hits.push((*oid, metric.distance(q, p)));
+            }
+            false
+        });
         hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         hits.truncate(k);
-        Ok((hits, io))
+        if let Err(e) = walk {
+            // Best candidates from the pages scanned so far — a scan kNN
+            // has no distance bound until the file is exhausted.
+            return settle_interrupt(e, hits, io);
+        }
+        if clamped {
+            return Ok((
+                QueryOutcome::degraded(hits, DegradeReason::BudgetExhausted),
+                io,
+            ));
+        }
+        Ok((QueryOutcome::Complete(hits), io))
     }
 
     fn io_stats(&self) -> IoStats {

@@ -2,7 +2,10 @@
 
 use crate::node::{data_capacity, index_capacity, ChildEntry, SrNode};
 use hyt_geom::{Metric, Point, Rect, L2};
-use hyt_index::{check_dim, IndexError, IndexResult, MultidimIndex, StructureStats};
+use hyt_index::{
+    apply_result_cap, check_dim, settle_interrupt, DegradeReason, IndexError, IndexResult,
+    MultidimIndex, QueryContext, QueryOutcome, StructureStats,
+};
 use hyt_page::{BufferPool, IoStats, MemStorage, PageId, Storage, DEFAULT_PAGE_SIZE};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -114,8 +117,13 @@ impl<S: Storage> SrTree<S> {
         Ok(SrNode::decode(&buf, self.dim)?)
     }
 
-    fn read_node_tracked(&self, pid: PageId, io: &mut IoStats) -> IndexResult<SrNode> {
-        let buf = self.pool.read_tracked(pid, io)?;
+    fn read_node_ctx(
+        &self,
+        pid: PageId,
+        io: &mut IoStats,
+        ctx: &QueryContext,
+    ) -> IndexResult<SrNode> {
+        let buf = self.pool.read_tracked_ctx(pid, io, ctx)?;
         Ok(SrNode::decode(&buf, self.dim)?)
     }
 
@@ -531,6 +539,15 @@ impl Ord for HeapHit {
     }
 }
 
+/// Drains a kNN candidate heap into `(oid, dist)` pairs sorted by
+/// ascending distance (ties by oid); also the best-so-far payload of an
+/// interrupted query.
+fn sorted_hits(best: BinaryHeap<HeapHit>) -> Vec<(u64, f64)> {
+    let mut hits: Vec<(u64, f64)> = best.into_iter().map(|h| (h.oid, h.dist)).collect();
+    hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    hits
+}
+
 impl<S: Storage> MultidimIndex for SrTree<S> {
     fn name(&self) -> &'static str {
         "sr-tree"
@@ -580,23 +597,36 @@ impl<S: Storage> MultidimIndex for SrTree<S> {
         }
     }
 
-    fn box_query_counted(&self, rect: &Rect) -> IndexResult<(Vec<u64>, IoStats)> {
+    fn box_query_ctx(
+        &self,
+        rect: &Rect,
+        ctx: &QueryContext,
+    ) -> IndexResult<(QueryOutcome<Vec<u64>>, IoStats)> {
         check_dim(self.dim, rect.dim())?;
         let mut io = IoStats::default();
         if self.len == 0 {
-            return Ok((Vec::new(), io));
+            return Ok((QueryOutcome::Complete(Vec::new()), io));
         }
         let mut out = Vec::new();
         let mut stack = vec![self.root];
         while let Some(pid) = stack.pop() {
-            match self.read_node_tracked(pid, &mut io)? {
-                SrNode::Data(entries) => out.extend(
-                    entries
-                        .iter()
-                        .filter(|(p, _)| rect.contains_point(p))
-                        .map(|(_, oid)| *oid),
-                ),
-                SrNode::Index { entries, .. } => {
+            match self.read_node_ctx(pid, &mut io, ctx) {
+                Err(e) => return settle_interrupt(e, out, io),
+                Ok(SrNode::Data(entries)) => {
+                    out.extend(
+                        entries
+                            .iter()
+                            .filter(|(p, _)| rect.contains_point(p))
+                            .map(|(_, oid)| *oid),
+                    );
+                    if apply_result_cap(ctx, &mut out, !stack.is_empty()) {
+                        return Ok((
+                            QueryOutcome::degraded(out, DegradeReason::BudgetExhausted),
+                            io,
+                        ));
+                    }
+                }
+                Ok(SrNode::Index { entries, .. }) => {
                     stack.extend(
                         entries
                             .iter()
@@ -606,31 +636,41 @@ impl<S: Storage> MultidimIndex for SrTree<S> {
                 }
             }
         }
-        Ok((out, io))
+        Ok((QueryOutcome::Complete(out), io))
     }
 
-    fn distance_range_counted(
+    fn distance_range_ctx(
         &self,
         q: &Point,
         radius: f64,
         metric: &dyn Metric,
-    ) -> IndexResult<(Vec<u64>, IoStats)> {
+        ctx: &QueryContext,
+    ) -> IndexResult<(QueryOutcome<Vec<u64>>, IoStats)> {
         check_dim(self.dim, q.dim())?;
         let mut io = IoStats::default();
         if self.len == 0 {
-            return Ok((Vec::new(), io));
+            return Ok((QueryOutcome::Complete(Vec::new()), io));
         }
         let mut out = Vec::new();
         let mut stack = vec![self.root];
         while let Some(pid) = stack.pop() {
-            match self.read_node_tracked(pid, &mut io)? {
-                SrNode::Data(entries) => out.extend(
-                    entries
-                        .iter()
-                        .filter(|(p, _)| metric.distance(q, p) <= radius)
-                        .map(|(_, oid)| *oid),
-                ),
-                SrNode::Index { entries, .. } => {
+            match self.read_node_ctx(pid, &mut io, ctx) {
+                Err(e) => return settle_interrupt(e, out, io),
+                Ok(SrNode::Data(entries)) => {
+                    out.extend(
+                        entries
+                            .iter()
+                            .filter(|(p, _)| metric.distance(q, p) <= radius)
+                            .map(|(_, oid)| *oid),
+                    );
+                    if apply_result_cap(ctx, &mut out, !stack.is_empty()) {
+                        return Ok((
+                            QueryOutcome::degraded(out, DegradeReason::BudgetExhausted),
+                            io,
+                        ));
+                    }
+                }
+                Ok(SrNode::Index { entries, .. }) => {
                     for e in &entries {
                         if self.min_dist_entry(q, e, metric) <= radius {
                             stack.push(e.pid);
@@ -639,19 +679,22 @@ impl<S: Storage> MultidimIndex for SrTree<S> {
                 }
             }
         }
-        Ok((out, io))
+        Ok((QueryOutcome::Complete(out), io))
     }
 
-    fn knn_counted(
+    fn knn_ctx(
         &self,
         q: &Point,
         k: usize,
         metric: &dyn Metric,
-    ) -> IndexResult<(Vec<(u64, f64)>, IoStats)> {
+        ctx: &QueryContext,
+    ) -> IndexResult<(QueryOutcome<Vec<(u64, f64)>>, IoStats)> {
         check_dim(self.dim, q.dim())?;
         let mut io = IoStats::default();
+        let clamped = ctx.max_results.is_some_and(|m| m < k);
+        let k = ctx.max_results.map_or(k, |m| k.min(m));
         if k == 0 || self.len == 0 {
-            return Ok((Vec::new(), io));
+            return Ok((QueryOutcome::Complete(Vec::new()), io));
         }
         let mut pq = BinaryHeap::new();
         let mut best: BinaryHeap<HeapHit> = BinaryHeap::new();
@@ -663,8 +706,9 @@ impl<S: Storage> MultidimIndex for SrTree<S> {
             if best.len() == k && item.dist > best.peek().unwrap().dist {
                 break;
             }
-            match self.read_node_tracked(item.pid, &mut io)? {
-                SrNode::Data(entries) => {
+            match self.read_node_ctx(item.pid, &mut io, ctx) {
+                Err(e) => return settle_interrupt(e, sorted_hits(best), io),
+                Ok(SrNode::Data(entries)) => {
                     for (p, oid) in entries {
                         let d = metric.distance(q, &p);
                         if best.len() < k {
@@ -675,7 +719,7 @@ impl<S: Storage> MultidimIndex for SrTree<S> {
                         }
                     }
                 }
-                SrNode::Index { entries, .. } => {
+                Ok(SrNode::Index { entries, .. }) => {
                     for e in &entries {
                         let d = self.min_dist_entry(q, e, metric);
                         if best.len() < k || d <= best.peek().unwrap().dist {
@@ -688,9 +732,14 @@ impl<S: Storage> MultidimIndex for SrTree<S> {
                 }
             }
         }
-        let mut hits: Vec<(u64, f64)> = best.into_iter().map(|h| (h.oid, h.dist)).collect();
-        hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-        Ok((hits, io))
+        let hits = sorted_hits(best);
+        if clamped {
+            return Ok((
+                QueryOutcome::degraded(hits, DegradeReason::BudgetExhausted),
+                io,
+            ));
+        }
+        Ok((QueryOutcome::Complete(hits), io))
     }
 
     fn io_stats(&self) -> IoStats {

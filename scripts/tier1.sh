@@ -19,4 +19,10 @@ cargo test --workspace -q
 echo "== crash matrix (fault injection: kill at every write site, reopen)"
 cargo test -q --test crash_matrix
 
+echo "== chaos queries (governed batches under fault load; must finish, not hang)"
+timeout 120 cargo test -q --test chaos_queries
+
+echo "== cargo doc (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "tier-1 green"

@@ -17,12 +17,15 @@
 
 use hybridtree_repro::core::{scrub_index, scrub_pages, HybridTree, HybridTreeConfig};
 use hybridtree_repro::data::{colhist, fourier, uniform};
-use hybridtree_repro::eval::{run_batch_parallel, total_io, BatchQuery};
+use hybridtree_repro::eval::{
+    run_batch_governed, AdmissionGate, BatchPolicy, BatchQuery, QueryStatus,
+};
 use hybridtree_repro::geom::{Chebyshev, Lp, Metric, Point, Rect, L1, L2};
-use hybridtree_repro::index::MultidimIndex;
+use hybridtree_repro::index::{MultidimIndex, QueryContext, QueryOutcome};
 use hybridtree_repro::page::DurableStorage;
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,12 +46,19 @@ const USAGE: &str = "usage:
                [--els-bits 4] [--bulk]
   hyt stats    --index PAGES --meta META
   hyt knn      --index PAGES --meta META --query V [--k 10] [--metric l2]
+               [--timeout-ms T] [--max-reads N]
   hyt range    --index PAGES --meta META --query V --radius R [--metric l2]
+               [--timeout-ms T] [--max-reads N]
   hyt box      --index PAGES --meta META --lo V --hi V
+               [--timeout-ms T] [--max-reads N]
   hyt batch    --index PAGES --meta META --queries FILE [--threads N] [--metric l2]
+               [--timeout-ms T] [--max-reads N] [--max-inflight N]
   hyt scrub    --index PAGES [--meta META] [--page-size 4096]
 metrics: l1, l2, linf, lp:<p>     V: comma-separated f32 coordinates
 batch file: one query per line — `box LO HI` | `range CENTER R` | `knn CENTER K`
+--timeout-ms caps wall time (whole batch for `batch`), --max-reads caps page
+reads per query; a query hitting a limit returns its partial answer, marked
+degraded. --max-inflight bounds concurrent queries; excess queries are shed.
 scrub verifies every page checksum (and, with --meta, every tree invariant)
 without loading the index; exits 1 if any corruption is found";
 
@@ -304,15 +314,40 @@ fn query_point(
     Ok(Point::new(q))
 }
 
+/// Builds the [`QueryContext`] from `--timeout-ms` / `--max-reads`.
+fn parse_query_context(opts: &HashMap<String, String>) -> Result<QueryContext, String> {
+    let mut ctx = QueryContext::default();
+    if let Some(ms) = opts.get("timeout-ms") {
+        let ms: u64 = ms.parse().map_err(|_| "bad --timeout-ms")?;
+        ctx = ctx.with_timeout(Duration::from_millis(ms));
+    }
+    if let Some(n) = opts.get("max-reads") {
+        let n: u64 = n.parse().map_err(|_| "bad --max-reads")?;
+        ctx = ctx.with_max_reads(n);
+    }
+    Ok(ctx)
+}
+
+/// Unwraps a query outcome, warning on stderr when the answer is
+/// partial.
+fn settle<T>(outcome: QueryOutcome<T>) -> T {
+    if let Some(reason) = outcome.degrade_reason() {
+        eprintln!("[degraded: {reason} — results below are partial]");
+    }
+    outcome.into_results()
+}
+
 fn knn(opts: &HashMap<String, String>) -> Result<(), String> {
     let tree = open_tree(opts)?;
     let q = query_point(opts, &tree)?;
     let k: usize = opt_parse(opts, "k", 10)?;
     let metric = parse_metric(opts.get("metric").map(String::as_str).unwrap_or("l2"))?;
+    let ctx = parse_query_context(opts)?;
     tree.reset_io_stats();
-    let hits = tree
-        .knn(&q, k, metric.as_ref())
+    let (outcome, _) = tree
+        .knn_ctx(&q, k, metric.as_ref(), &ctx)
         .map_err(|e| e.to_string())?;
+    let hits = settle(outcome);
     for (oid, d) in &hits {
         println!("{oid}\t{d:.6}");
     }
@@ -325,10 +360,12 @@ fn range(opts: &HashMap<String, String>) -> Result<(), String> {
     let q = query_point(opts, &tree)?;
     let radius: f64 = req(opts, "radius")?.parse().map_err(|_| "bad --radius")?;
     let metric = parse_metric(opts.get("metric").map(String::as_str).unwrap_or("l2"))?;
+    let ctx = parse_query_context(opts)?;
     tree.reset_io_stats();
-    let mut hits = tree
-        .distance_range(&q, radius, metric.as_ref())
+    let (outcome, _) = tree
+        .distance_range_ctx(&q, radius, metric.as_ref(), &ctx)
         .map_err(|e| e.to_string())?;
+    let mut hits = settle(outcome);
     hits.sort_unstable();
     for oid in &hits {
         println!("{oid}");
@@ -411,25 +448,69 @@ fn batch(opts: &HashMap<String, String>) -> Result<(), String> {
     if queries.is_empty() {
         return Err(format!("{path} holds no queries"));
     }
-    let start = std::time::Instant::now();
-    let answers =
-        run_batch_parallel(&tree, metric.as_ref(), &queries, threads).map_err(|e| e.to_string())?;
-    let elapsed = start.elapsed();
-    for (i, a) in answers.iter().enumerate() {
-        println!(
-            "#{i}\t{} results\t{} page reads",
-            a.oids.len(),
-            a.io.logical_reads
-        );
+    let mut policy = BatchPolicy::default();
+    if let Some(ms) = opts.get("timeout-ms") {
+        let ms: u64 = ms.parse().map_err(|_| "bad --timeout-ms")?;
+        policy.timeout = Some(Duration::from_millis(ms));
     }
-    let total = total_io(&answers);
+    if let Some(n) = opts.get("max-reads") {
+        policy.max_reads = Some(n.parse().map_err(|_| "bad --max-reads")?);
+    }
+    let gate = match opts.get("max-inflight") {
+        Some(n) => {
+            let slots: usize = n.parse().map_err(|_| "bad --max-inflight")?;
+            if slots == 0 {
+                return Err("--max-inflight must be >= 1".into());
+            }
+            // Queries queue for at most the batch timeout (default 1s)
+            // before being shed.
+            let patience = policy.timeout.unwrap_or(Duration::from_secs(1));
+            Some(AdmissionGate::new(slots, patience))
+        }
+        None => None,
+    };
+    let start = std::time::Instant::now();
+    let answers = run_batch_governed(
+        &tree,
+        metric.as_ref(),
+        &queries,
+        threads,
+        &policy,
+        gate.as_ref(),
+    )
+    .map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed();
+    let mut total = hybridtree_repro::page::IoStats::default();
+    let mut degraded = 0usize;
+    let mut shed = 0usize;
+    for (i, a) in answers.iter().enumerate() {
+        let status = match &a.status {
+            QueryStatus::Complete => "complete".to_string(),
+            QueryStatus::Degraded(reason) => {
+                degraded += 1;
+                format!("degraded ({reason})")
+            }
+            QueryStatus::Shed(_) => {
+                shed += 1;
+                "shed (overloaded)".to_string()
+            }
+        };
+        println!(
+            "#{i}\t{} results\t{} page reads\t{status}",
+            a.answer.oids.len(),
+            a.answer.io.logical_reads
+        );
+        total.merge(&a.answer.io);
+    }
     eprintln!(
-        "[{} queries on {} thread(s) in {:.3}s — {} page reads, {:.1} weighted accesses]",
+        "[{} queries on {} thread(s) in {:.3}s — {} page reads, {:.1} weighted accesses, \
+         {} complete, {degraded} degraded, {shed} shed]",
         answers.len(),
         threads,
         elapsed.as_secs_f64(),
         total.logical_reads,
         total.weighted_accesses(),
+        answers.len() - degraded - shed,
     );
     Ok(())
 }
@@ -445,8 +526,10 @@ fn box_query(opts: &HashMap<String, String>) -> Result<(), String> {
         return Err("--lo must be <= --hi in every dimension".into());
     }
     let rect = Rect::new(lo, hi);
+    let ctx = parse_query_context(opts)?;
     tree.reset_io_stats();
-    let mut hits = tree.box_query(&rect).map_err(|e| e.to_string())?;
+    let (outcome, _) = tree.box_query_ctx(&rect, &ctx).map_err(|e| e.to_string())?;
+    let mut hits = settle(outcome);
     hits.sort_unstable();
     for oid in &hits {
         println!("{oid}");

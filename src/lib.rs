@@ -29,6 +29,9 @@ pub use hyt_srtree as srtree;
 pub mod prelude {
     pub use hybrid_tree::{HybridTree, HybridTreeConfig, SplitPolicy};
     pub use hyt_geom::{Chebyshev, Lp, Metric, Point, Rect, WeightedEuclidean, L1, L2};
-    pub use hyt_index::{IndexError, IndexResult, MultidimIndex, StructureStats};
+    pub use hyt_index::{
+        CancelToken, DegradeReason, IndexError, IndexResult, MultidimIndex, QueryContext,
+        QueryOutcome, StructureStats,
+    };
     pub use hyt_page::IoStats;
 }

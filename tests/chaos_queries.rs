@@ -1,0 +1,204 @@
+//! Chaos suite for governed query execution: concurrent governed
+//! batches against a fault-injected tree, with transient read failures,
+//! random cancellation, and tight deadlines all firing at once.
+//!
+//! Invariants demanded throughout:
+//!
+//! * no panic and no hang (a watchdog bounds the whole run);
+//! * every query returns a typed outcome — `Complete`, `Degraded`, or
+//!   `Shed` — never a corruption error from a *transient* fault;
+//! * every `Complete` outcome is bit-identical to the unfaulted serial
+//!   answer for that query;
+//! * after the chaos, the tree's invariants still verify and an
+//!   unfaulted serial run reproduces the reference answers exactly.
+
+use hybridtree_repro::core::{HybridTree, HybridTreeConfig};
+use hybridtree_repro::eval::{
+    run_batch, run_batch_governed, AdmissionGate, BatchPolicy, BatchQuery, QueryStatus,
+};
+use hybridtree_repro::geom::{Point, Rect, L2};
+use hybridtree_repro::index::{CancelToken, MultidimIndex};
+use hybridtree_repro::page::{
+    ChecksumStorage, FaultScript, FaultStorage, MemStorage, FRAME_HEADER_BYTES,
+};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+type ChaosStack = ChecksumStorage<FaultStorage<MemStorage>>;
+
+const DIM: usize = 4;
+const N_POINTS: usize = 3_000;
+const ROUNDS: usize = 8;
+/// Upper bound on the whole chaos phase; tripping it means a hang.
+const WATCHDOG: Duration = Duration::from_secs(90);
+
+fn build_tree() -> (Arc<HybridTree<ChaosStack>>, Arc<FaultScript>, Vec<Point>) {
+    let cfg = HybridTreeConfig {
+        page_size: 512,
+        pool_pages: 24, // small pool: queries must actually hit storage
+        ..HybridTreeConfig::default()
+    };
+    let mem = MemStorage::with_page_size(cfg.page_size + FRAME_HEADER_BYTES);
+    let (faulty, script) = FaultStorage::new(mem);
+    let storage = ChecksumStorage::new(faulty);
+    let mut tree = HybridTree::with_storage(DIM, cfg, storage).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xBADC0DE);
+    let pts: Vec<Point> = (0..N_POINTS)
+        .map(|_| Point::new((0..DIM).map(|_| rng.gen::<f32>()).collect()))
+        .collect();
+    for (i, p) in pts.iter().enumerate() {
+        tree.insert(p.clone(), i as u64).unwrap();
+    }
+    (Arc::new(tree), script, pts)
+}
+
+fn mixed_batch(pts: &[Point], n: usize, seed: u64) -> Vec<BatchQuery> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let c = pts[rng.gen_range(0..pts.len())].clone();
+            match i % 3 {
+                0 => {
+                    let half = 0.05 + rng.gen::<f64>() * 0.2;
+                    let lo: Vec<f32> = c.coords().iter().map(|&x| x - half as f32).collect();
+                    let hi: Vec<f32> = c.coords().iter().map(|&x| x + half as f32).collect();
+                    BatchQuery::Box(Rect::new(lo, hi))
+                }
+                1 => BatchQuery::Distance(c, 0.2 + rng.gen::<f64>() * 0.3),
+                _ => BatchQuery::Knn(c, rng.gen_range(1..13)),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn chaos_concurrent_governed_batches_survive_fault_load() {
+    let (tree, script, pts) = build_tree();
+    let batch = mixed_batch(&pts, 48, 0x5EED);
+
+    // Reference answers: unfaulted, serial, ungoverned.
+    let reference = run_batch(tree.as_ref(), &L2, &batch).unwrap();
+
+    // The chaos phase runs in its own thread so the test thread can act
+    // as a watchdog: a hang anywhere fails the test instead of wedging
+    // the suite.
+    let (done_tx, done_rx) = mpsc::channel::<Result<(), String>>();
+    let chaos_tree = Arc::clone(&tree);
+    let chaos_script = Arc::clone(&script);
+    let chaos_batch = batch.clone();
+    let chaos_reference = reference.clone();
+    std::thread::spawn(move || {
+        let verdict = chaos_rounds(&chaos_tree, &chaos_script, &chaos_batch, &chaos_reference);
+        let _ = done_tx.send(verdict);
+    });
+    match done_rx.recv_timeout(WATCHDOG) {
+        Ok(Ok(())) => {}
+        Ok(Err(msg)) => panic!("chaos round failed: {msg}"),
+        Err(_) => panic!("chaos phase hung past the {WATCHDOG:?} watchdog"),
+    }
+
+    // Scrub-clean afterwards: invariants hold and an unfaulted serial
+    // re-run reproduces the reference answers bit for bit.
+    script.disarm();
+    tree.check_invariants().unwrap();
+    let after = run_batch(tree.as_ref(), &L2, &batch).unwrap();
+    for (i, (a, r)) in after.iter().zip(&reference).enumerate() {
+        assert_eq!(a.oids, r.oids, "query {i} answers drifted after chaos");
+        assert_eq!(a.distances, r.distances, "query {i} distances drifted");
+    }
+}
+
+/// One full chaos campaign: `ROUNDS` governed parallel batches, each
+/// under a different mix of fault load, cancellation, deadline pressure
+/// and admission control.
+fn chaos_rounds(
+    tree: &HybridTree<ChaosStack>,
+    script: &Arc<FaultScript>,
+    batch: &[BatchQuery],
+    reference: &[hybridtree_repro::eval::BatchAnswer],
+) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(0xC4A05);
+    let mut complete = 0usize;
+    let mut non_complete = 0usize;
+    for round in 0..ROUNDS {
+        let token = CancelToken::new();
+        let policy = BatchPolicy {
+            // Rotate the pressure: some rounds squeeze wall time, some
+            // squeeze reads, some only face faults.
+            timeout: (round % 3 == 1).then(|| Duration::from_millis(rng.gen_range(1..40))),
+            max_reads: (round % 3 == 2).then(|| rng.gen_range(1..30)),
+            cancel: Some(token.clone()),
+            max_results: None,
+            retry_limit: 4,
+            retry_backoff: Duration::from_micros(200),
+        };
+        let gate = (round % 2 == 0).then(|| AdmissionGate::new(3, Duration::from_millis(50)));
+
+        // Fault injector: bursts of transient read failures while the
+        // batch runs, plus one random cancel in cancel-heavy rounds.
+        script.fail_next_reads(rng.gen_range(1..20));
+        let stop_chaos = CancelToken::new();
+        let injector = {
+            let script = Arc::clone(script);
+            let stop = stop_chaos.clone();
+            let cancel_after: Option<u64> = (round % 4 == 3).then(|| rng.gen_range(1..25));
+            let token = token.clone();
+            let burst: u64 = rng.gen_range(1..12);
+            std::thread::spawn(move || {
+                let mut waited = 0u64;
+                while !stop.is_cancelled() {
+                    std::thread::sleep(Duration::from_millis(2));
+                    waited += 2;
+                    script.fail_next_reads(burst);
+                    if cancel_after.is_some_and(|at| waited >= at) {
+                        token.cancel();
+                    }
+                }
+            })
+        };
+
+        let got = run_batch_governed(tree, &L2, batch, 4, &policy, gate.as_ref());
+        stop_chaos.cancel();
+        injector
+            .join()
+            .map_err(|_| "injector panicked".to_string())?;
+        script.disarm();
+
+        let answers = got.map_err(|e| format!("round {round}: hard error {e}"))?;
+        if answers.len() != batch.len() {
+            return Err(format!(
+                "round {round}: {} answers for {} queries",
+                answers.len(),
+                batch.len()
+            ));
+        }
+        for (i, (g, r)) in answers.iter().zip(reference).enumerate() {
+            match &g.status {
+                QueryStatus::Complete => {
+                    complete += 1;
+                    // Complete outcomes must be bit-identical to the
+                    // unfaulted serial answers, whatever chaos ran.
+                    if g.answer.oids != r.oids || g.answer.distances != r.distances {
+                        return Err(format!(
+                            "round {round} query {i}: Complete answer differs from reference"
+                        ));
+                    }
+                }
+                QueryStatus::Degraded(_) | QueryStatus::Shed(_) => non_complete += 1,
+            }
+        }
+    }
+    // The campaign must exercise both sides: governance that bites
+    // (degraded/shed outcomes exist) and recovery that works (complete
+    // outcomes exist despite the fault load).
+    if complete == 0 {
+        return Err("no query ever completed under chaos".into());
+    }
+    if non_complete == 0 {
+        return Err("chaos never degraded or shed a single query — injection inert".into());
+    }
+    Ok(())
+}
