@@ -129,12 +129,42 @@ fn bench_batch(c: &mut Criterion) {
     g.finish();
 }
 
+/// Decoded-node cache effect on the kNN hot path: the same warm query
+/// stream with the cache off (decode per visit) and on (decode per page
+/// epoch). Wall-clock deltas are modest on small trees; the decode-count
+/// trajectory lives in the `pr4` bench target.
+fn bench_decoded_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decoded_cache");
+    let dim = 16usize;
+    let data = uniform(20_000, dim, 23);
+    for entries in [0usize, 4096] {
+        let mut tree = HybridTree::new(
+            dim,
+            HybridTreeConfig {
+                node_cache_entries: entries,
+                ..HybridTreeConfig::default()
+            },
+        )
+        .unwrap();
+        for (i, p) in data.iter().enumerate() {
+            tree.insert(p.clone(), i as u64).unwrap();
+        }
+        let q = data[42].clone();
+        let label = if entries == 0 { "off" } else { "on" };
+        g.bench_function(format!("knn10_16d_20k/{label}"), |b| {
+            b.iter(|| black_box(tree.knn(&q, 10, &L2).unwrap().len()))
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_metrics,
     bench_bipartition,
     bench_insert,
     bench_queries,
-    bench_batch
+    bench_batch,
+    bench_decoded_cache
 );
 criterion_main!(benches);

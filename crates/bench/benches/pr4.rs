@@ -1,0 +1,74 @@
+//! Hot-path trajectory bench: decoded-node cache effect per engine.
+//!
+//! Runs the warm repeated-query workload of [`hyt_eval::run_decode_bench`]
+//! — every engine, cache off then cache on, answers asserted identical —
+//! and writes the machine-readable report to `BENCH_pr4.json` at the repo
+//! root (the decode-count metric is the acceptance number; wall-clock
+//! percentiles ride along for trend-watching on noisy CI hosts).
+//!
+//! `HYT_SCALE=paper` scales the dataset up; `HYT_QUERIES` overrides the
+//! query count.
+
+use hyt_eval::Scale;
+use std::path::PathBuf;
+
+fn main() {
+    let scale = Scale::from_env();
+    // A fraction of the figure scale: this bench runs each workload
+    // 2 × repeats times across five engines.
+    let n = (scale.colhist_n / 2).max(2_000);
+    let dim = 16;
+    let queries = scale.queries.clamp(8, 32);
+    let repeats = 4;
+    let cache_entries = 4096;
+    eprintln!(
+        "[pr4] decode bench: n={n} dim={dim} queries={queries} repeats={repeats} \
+         cache_entries={cache_entries}"
+    );
+    let started = std::time::Instant::now();
+    let report = match hyt_eval::run_decode_bench(n, dim, queries, repeats, cache_entries) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("[pr4] failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("[pr4] done in {:.1}s", started.elapsed().as_secs_f64());
+
+    println!(
+        "{:<12} {:>7} {:>8} {:>10} {:>10} {:>9} {:>9} {:>9}",
+        "engine", "cache", "queries", "p50_us", "p95_us", "decodes", "hits", "hit_rate"
+    );
+    for r in &report.rows {
+        println!(
+            "{:<12} {:>7} {:>8} {:>10.1} {:>10.1} {:>9} {:>9} {:>9.3}",
+            r.engine,
+            r.cache_entries,
+            r.queries,
+            r.p50_us,
+            r.p95_us,
+            r.decodes,
+            r.cache_hits,
+            r.hit_rate
+        );
+    }
+    let reduction = report.min_decode_reduction();
+    println!("min decode reduction (off/on): {reduction:.2}x");
+
+    let json = report.to_json();
+    let mut path = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    path.pop();
+    path.pop();
+    path.push("BENCH_pr4.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("[pr4] wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("[pr4] could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    if reduction < 2.0 {
+        eprintln!("[pr4] WARNING: decode reduction {reduction:.2}x below the 2x target");
+        std::process::exit(1);
+    }
+}

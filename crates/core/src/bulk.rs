@@ -83,7 +83,7 @@ impl<S: Storage> HybridTree<S> {
         let len = entries.len();
         let global_br = Rect::bounding(&entries.iter().map(|(p, _)| p.clone()).collect::<Vec<_>>());
 
-        let pool = BufferPool::new(storage, cfg.pool_pages);
+        let pool = BufferPool::with_node_cache(storage, cfg.pool_pages, cfg.node_cache_entries);
         let mut els = ElsTable::new(dim, cfg.els_bits);
 
         // ---- 1. leaf level: recursive clean partitioning ----------------

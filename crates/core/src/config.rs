@@ -86,6 +86,12 @@ pub struct HybridTreeConfig {
     /// so every logical access is also physical — the paper's cold-cache
     /// disk-access accounting.
     pub pool_pages: usize,
+    /// Capacity (in entries) of the decoded-node cache attached to the
+    /// buffer pool. `0` (the default) disables it, so every node visit
+    /// pays a full decode — the configuration all correctness baselines
+    /// run under. Enabling it never changes query results or logical
+    /// I/O accounting, only the number of `Node::decode` invocations.
+    pub node_cache_entries: usize,
 }
 
 impl Default for HybridTreeConfig {
@@ -97,6 +103,7 @@ impl Default for HybridTreeConfig {
             split_policy: SplitPolicy::EdaOptimal,
             query_size: QuerySizeDist::Uniform { max: 1.0 },
             pool_pages: 0,
+            node_cache_entries: 0,
         }
     }
 }

@@ -118,7 +118,7 @@ impl<S: Storage> NearestIter<'_, '_, S> {
                             },
                         });
                     }
-                    match node? {
+                    match &*node? {
                         Node::Data(entries) => {
                             for e in entries {
                                 let d = self.metric.distance(&self.q, &e.point);

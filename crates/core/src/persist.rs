@@ -55,7 +55,7 @@ use std::collections::HashSet;
 use std::io::Write as _;
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"HYTREE02";
+const MAGIC: &[u8; 8] = b"HYTREE03";
 
 fn encode_cfg(w: &mut ByteWriter, cfg: &HybridTreeConfig) {
     w.put_u32(cfg.page_size as u32);
@@ -78,6 +78,7 @@ fn encode_cfg(w: &mut ByteWriter, cfg: &HybridTreeConfig) {
         }
     }
     w.put_u32(cfg.pool_pages as u32);
+    w.put_u32(cfg.node_cache_entries as u32);
 }
 
 fn decode_cfg(r: &mut ByteReader<'_>) -> Result<HybridTreeConfig, PageError> {
@@ -97,6 +98,7 @@ fn decode_cfg(r: &mut ByteReader<'_>) -> Result<HybridTreeConfig, PageError> {
         t => return Err(PageError::Corrupt(format!("bad query dist {t}"))),
     };
     let pool_pages = r.get_u32()? as usize;
+    let node_cache_entries = r.get_u32()? as usize;
     Ok(HybridTreeConfig {
         page_size,
         min_fill,
@@ -104,6 +106,7 @@ fn decode_cfg(r: &mut ByteReader<'_>) -> Result<HybridTreeConfig, PageError> {
         split_policy,
         query_size,
         pool_pages,
+        node_cache_entries,
     })
 }
 
@@ -313,7 +316,30 @@ impl HybridTree<DurableStorage> {
     /// catalog, this falls back to [`recover`](Self::recover)'s walk
     /// instead of serving possibly stale metadata.
     pub fn open<P: AsRef<Path>, Q: AsRef<Path>>(pages_path: P, meta_path: Q) -> IndexResult<Self> {
-        let catalog = read_catalog(meta_path.as_ref()).map_err(IndexError::Storage)?;
+        Self::open_inner(pages_path, meta_path, None)
+    }
+
+    /// Like [`open`](Self::open), but overrides the catalog's persisted
+    /// `node_cache_entries`. Cache sizing is a property of the serving
+    /// host, not of the index file, so deployments can tune it per
+    /// process without rewriting the catalog.
+    pub fn open_with_node_cache<P: AsRef<Path>, Q: AsRef<Path>>(
+        pages_path: P,
+        meta_path: Q,
+        node_cache_entries: usize,
+    ) -> IndexResult<Self> {
+        Self::open_inner(pages_path, meta_path, Some(node_cache_entries))
+    }
+
+    fn open_inner<P: AsRef<Path>, Q: AsRef<Path>>(
+        pages_path: P,
+        meta_path: Q,
+        cache_override: Option<usize>,
+    ) -> IndexResult<Self> {
+        let mut catalog = read_catalog(meta_path.as_ref()).map_err(IndexError::Storage)?;
+        if let Some(entries) = cache_override {
+            catalog.core.cfg.node_cache_entries = entries;
+        }
         let storage = DurableStorage::open(pages_path, catalog.core.cfg.page_size)?;
         let diverged = storage.max_live_epoch() > catalog.core.epoch
             || storage.live_pages() != catalog.core.live_pages as usize;
@@ -322,8 +348,11 @@ impl HybridTree<DurableStorage> {
                 let core = catalog.core;
                 let data_cap = crate::node::data_capacity(core.cfg.page_size, core.dim);
                 let data_min = ((core.cfg.min_fill * data_cap as f64).floor() as usize).max(1);
-                let pool_pages = core.cfg.pool_pages;
-                let pool = BufferPool::new(storage, pool_pages);
+                let pool = BufferPool::with_node_cache(
+                    storage,
+                    core.cfg.pool_pages,
+                    core.cfg.node_cache_entries,
+                );
                 Ok(Self::assemble(
                     pool,
                     core.root,
@@ -392,8 +421,7 @@ impl HybridTree<DurableStorage> {
         }
         let data_cap = crate::node::data_capacity(cfg.page_size, dim);
         let data_min = ((cfg.min_fill * data_cap as f64).floor() as usize).max(1);
-        let pool_pages = cfg.pool_pages;
-        let pool = BufferPool::new(storage, pool_pages);
+        let pool = BufferPool::with_node_cache(storage, cfg.pool_pages, cfg.node_cache_entries);
         let tree = Self::assemble(
             pool,
             core.root,
@@ -591,6 +619,7 @@ mod tests {
             split_policy: SplitPolicy::Vam,
             query_size: QuerySizeDist::Fixed(0.125),
             pool_pages: 33,
+            node_cache_entries: 12,
         };
         {
             let mut t = HybridTree::create_durable(3, cfg.clone(), &pages).unwrap();
@@ -605,6 +634,7 @@ mod tests {
         assert_eq!(got.split_policy, cfg.split_policy);
         assert_eq!(got.query_size, cfg.query_size);
         assert_eq!(got.pool_pages, cfg.pool_pages);
+        assert_eq!(got.node_cache_entries, cfg.node_cache_entries);
         std::fs::remove_file(&pages).ok();
         std::fs::remove_file(&meta).ok();
     }

@@ -6,14 +6,18 @@ use crate::kdtree::KdTree;
 use crate::node::{data_capacity, DataEntry, Node, INDEX_HEADER_BYTES};
 use crate::split::{build_kd, split_data, split_index};
 use crate::view::NodeView;
+use hyt_geom::range_bound_sq;
 use hyt_geom::{Coord, Metric, Point, Rect};
 use hyt_index::{
     apply_result_cap, check_dim, settle_interrupt, DegradeReason, IndexError, IndexResult,
     MultidimIndex, QueryContext, QueryOutcome, StructureStats,
 };
-use hyt_page::{BufferPool, IoStats, MemStorage, PageError, PageId, Storage};
+use hyt_page::{
+    BufferPool, IoStats, MemStorage, NodeCacheStats, PageError, PageId, PageResult, Storage,
+};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// A split propagating up from a child: the child kept the lower half and
 /// `new_page` received the upper half, separated along `dim` with split
@@ -94,7 +98,7 @@ impl<S: Storage> HybridTree<S> {
         }
         let data_min = ((cfg.min_fill * data_cap as f64).floor() as usize).max(1);
         let els = ElsTable::new(dim, cfg.els_bits);
-        let pool = BufferPool::new(storage, cfg.pool_pages);
+        let pool = BufferPool::with_node_cache(storage, cfg.pool_pages, cfg.node_cache_entries);
         let root = pool.allocate()?;
         let empty = Node::Data(Vec::new());
         pool.write(root, &empty.encode(dim))?;
@@ -175,16 +179,18 @@ impl<S: Storage> HybridTree<S> {
         let mut out = Vec::new();
         let mut stack = vec![self.root];
         let mut kids = Vec::new();
+        let mut io = IoStats::default();
         while let Some(pid) = stack.pop() {
-            let buf = self.pool.read(pid)?;
-            match NodeView::parse(&buf, self.dim)? {
-                NodeView::Data(view) => view.filter_point(p, &mut out),
-                NodeView::Index(view) => {
-                    kids.clear();
-                    view.children_containing_point(p, &mut kids)?;
-                    stack.extend(kids.iter().filter(|c| self.els.may_contain(**c, p)));
-                }
-            }
+            kids.clear();
+            self.pool
+                .read_tracked_with(pid, &mut io, |buf| -> PageResult<()> {
+                    match NodeView::parse(buf, self.dim)? {
+                        NodeView::Data(view) => view.filter_point(p, &mut out),
+                        NodeView::Index(view) => view.children_containing_point(p, &mut kids)?,
+                    }
+                    Ok(())
+                })??;
+            stack.extend(kids.iter().filter(|c| self.els.may_contain(**c, p)));
         }
         Ok(out)
     }
@@ -228,22 +234,28 @@ impl<S: Storage> HybridTree<S> {
             .unwrap_or_else(|| Rect::from_point(&Point::origin(self.dim)))
     }
 
+    /// Owned node read for mutation paths: decodes straight from the
+    /// borrowed pool frame (no payload copy before decode).
     pub(crate) fn read_node(&self, pid: PageId) -> IndexResult<Node> {
-        let buf = self.pool.read(pid)?;
-        Ok(Node::decode(&buf, self.dim)?)
+        let mut io = IoStats::default();
+        Ok(self
+            .pool
+            .read_tracked_with(pid, &mut io, |buf| Node::decode(buf, self.dim))??)
     }
 
     /// Governed node read: `ctx` must admit the fetch (cancel, deadline,
     /// read budget) or this fails with an interrupt before touching the
-    /// pool.
+    /// pool. Returns the shared decoded form: with the decoded-node
+    /// cache enabled a repeat visit skips `Node::decode` entirely while
+    /// still counting one logical read.
     pub(crate) fn read_node_ctx(
         &self,
         pid: PageId,
         io: &mut IoStats,
         ctx: &QueryContext,
-    ) -> IndexResult<Node> {
-        let buf = self.pool.read_tracked_ctx(pid, io, ctx)?;
-        Ok(Node::decode(&buf, self.dim)?)
+    ) -> IndexResult<Arc<Node>> {
+        self.pool
+            .read_decoded_ctx(pid, io, ctx, |buf| Ok(Node::decode(buf, self.dim)?))
     }
 
     /// Resident and pinned frame counts of the tree's buffer pool
@@ -538,7 +550,10 @@ impl<S: Storage> HybridTree<S> {
     }
 }
 
-/// Max-heap item for kNN result maintenance.
+/// Max-heap item for kNN result maintenance. `dist` is held in the
+/// metric's *comparator space* (squared for L2, p-th power for Lp; see
+/// [`Metric::distance_sq`]) and mapped back to an actual distance once
+/// per reported result by [`sorted_hits`].
 struct HeapHit {
     dist: f64,
     oid: u64,
@@ -563,7 +578,8 @@ impl Ord for HeapHit {
     }
 }
 
-/// Min-heap item for best-first node expansion.
+/// Min-heap item for best-first node expansion (`dist` in comparator
+/// space, like [`HeapHit`]).
 struct PqNode {
     dist: f64,
     pid: PageId,
@@ -592,10 +608,15 @@ impl Ord for PqNode {
 }
 
 /// Drains a kNN candidate heap into `(oid, dist)` pairs sorted by
-/// ascending distance (ties by oid). Used both for complete answers and
-/// for the best-so-far payload of an interrupted query.
-fn sorted_hits(best: BinaryHeap<HeapHit>) -> Vec<(u64, f64)> {
-    let mut hits: Vec<(u64, f64)> = best.into_iter().map(|h| (h.oid, h.dist)).collect();
+/// ascending distance (ties by oid), mapping each comparator-space value
+/// back to an actual distance — the one root each reported neighbor
+/// pays. Used both for complete answers and for the best-so-far payload
+/// of an interrupted query.
+fn sorted_hits(best: BinaryHeap<HeapHit>, metric: &dyn Metric) -> Vec<(u64, f64)> {
+    let mut hits: Vec<(u64, f64)> = best
+        .into_iter()
+        .map(|h| (h.oid, metric.distance_from_sq(h.dist)))
+        .collect();
     hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     hits
 }
@@ -656,15 +677,31 @@ impl<S: Storage> MultidimIndex for HybridTree<S> {
         let mut stack = vec![self.root];
         let mut kids = Vec::new();
         while let Some(pid) = stack.pop() {
-            let buf = match self.pool.read_tracked_ctx(pid, &mut io, ctx) {
-                Ok(buf) => buf,
-                Err(e) => return settle_interrupt(e.into(), out, io),
-            };
+            kids.clear();
             // Navigate the serialized node in place (paper §3.1: kd-based
-            // intra-node search beats scanning an array of BRs).
-            match NodeView::parse(&buf, self.dim)? {
-                NodeView::Data(view) => {
-                    view.filter_box(rect, &mut out);
+            // intra-node search beats scanning an array of BRs), borrowing
+            // the resident frame instead of copying the page out first.
+            let parsed = self
+                .pool
+                .read_tracked_ctx_with(pid, &mut io, ctx, |buf| -> PageResult<bool> {
+                    match NodeView::parse(buf, self.dim)? {
+                        NodeView::Data(view) => {
+                            view.filter_box(rect, &mut out);
+                            Ok(true)
+                        }
+                        NodeView::Index(view) => {
+                            // Two-step overlap check (paper §3.4): the kd
+                            // split positions prune first; the quantized
+                            // live-space BR is consulted only for children
+                            // that survive.
+                            view.children_overlapping_box(rect, &mut kids)?;
+                            Ok(false)
+                        }
+                    }
+                })
+                .and_then(|r| r);
+            match parsed {
+                Ok(true) => {
                     if apply_result_cap(ctx, &mut out, !stack.is_empty()) {
                         return Ok((
                             QueryOutcome::degraded(out, DegradeReason::BudgetExhausted),
@@ -672,14 +709,10 @@ impl<S: Storage> MultidimIndex for HybridTree<S> {
                         ));
                     }
                 }
-                NodeView::Index(view) => {
-                    // Two-step overlap check (paper §3.4): the kd split
-                    // positions prune first; the quantized live-space BR
-                    // is consulted only for children that survive.
-                    kids.clear();
-                    view.children_overlapping_box(rect, &mut kids)?;
+                Ok(false) => {
                     stack.extend(kids.iter().filter(|c| self.els.may_intersect(**c, rect)));
                 }
+                Err(e) => return settle_interrupt(e.into(), out, io),
             }
         }
         Ok((QueryOutcome::Complete(out), io))
@@ -698,48 +731,72 @@ impl<S: Storage> MultidimIndex for HybridTree<S> {
             return Ok((QueryOutcome::Complete(Vec::new()), io));
         }
         let mut out = Vec::new();
+        // Comparator-space pruning bound (see `range_bound_sq`): nodes and
+        // candidates are compared root-free; survivors pay one root each
+        // for the exact `<= radius` check, so the result set is identical
+        // to filtering on actual distances.
+        let bound_sq = range_bound_sq(metric, radius);
+        let keep_within = |entries: &[DataEntry], out: &mut Vec<u64>| {
+            for e in entries {
+                if let Some(c) = metric.distance_sq_within(q, &e.point, bound_sq) {
+                    if metric.distance_from_sq(c) <= radius {
+                        out.push(e.oid);
+                    }
+                }
+            }
+        };
         if self.els.enabled() {
             // Region-free traversal: prune each child with its quantized
-            // live-space box (absolute coordinates, zero allocation).
-            let mut stack = vec![self.root];
+            // live-space box (absolute coordinates, zero allocation). The
+            // tree is balanced, so depth alone tells data and index pages
+            // apart: index pages are walked in serialized form, data pages
+            // go through the decoded-node path (shared, cacheable — this
+            // is the scan-heavy side of the query).
+            let leaf_depth = self.height - 1;
+            let mut stack = vec![(self.root, 0usize)];
             let mut kids = Vec::new();
-            while let Some(pid) = stack.pop() {
-                let buf = match self.pool.read_tracked_ctx(pid, &mut io, ctx) {
-                    Ok(buf) => buf,
-                    Err(e) => return settle_interrupt(e.into(), out, io),
-                };
-                match NodeView::parse(&buf, self.dim)? {
-                    NodeView::Index(view) => {
-                        kids.clear();
-                        view.child_ids(&mut kids)?;
-                        for &child in &kids {
-                            let d = self
-                                .els
-                                .quant_rect(child)
-                                .map_or(0.0, |r| metric.min_dist_rect(q, r));
-                            if d <= radius {
-                                stack.push(child);
-                            }
-                        }
+            while let Some((pid, depth)) = stack.pop() {
+                if depth == leaf_depth {
+                    let node = match self.read_node_ctx(pid, &mut io, ctx) {
+                        Ok(node) => node,
+                        Err(e) => return settle_interrupt(e, out, io),
+                    };
+                    let Node::Data(entries) = &*node else {
+                        return Err(IndexError::Storage(PageError::Corrupt(format!(
+                            "{pid}: expected a data node at the leaf level"
+                        ))));
+                    };
+                    keep_within(entries, &mut out);
+                    if apply_result_cap(ctx, &mut out, !stack.is_empty()) {
+                        return Ok((
+                            QueryOutcome::degraded(out, DegradeReason::BudgetExhausted),
+                            io,
+                        ));
                     }
-                    NodeView::Data(_) => {
-                        let Node::Data(entries) = Node::decode(&buf, self.dim)? else {
-                            return Err(IndexError::Storage(PageError::Corrupt(format!(
-                                "{pid}: node tag disagrees between header parse and decode"
-                            ))));
-                        };
-                        out.extend(
-                            entries
-                                .iter()
-                                .filter(|e| metric.distance(q, &e.point) <= radius)
-                                .map(|e| e.oid),
-                        );
-                        if apply_result_cap(ctx, &mut out, !stack.is_empty()) {
-                            return Ok((
-                                QueryOutcome::degraded(out, DegradeReason::BudgetExhausted),
-                                io,
-                            ));
+                    continue;
+                }
+                kids.clear();
+                let parsed = self
+                    .pool
+                    .read_tracked_ctx_with(pid, &mut io, ctx, |buf| -> PageResult<()> {
+                        match NodeView::parse(buf, self.dim)? {
+                            NodeView::Index(view) => view.child_ids(&mut kids),
+                            NodeView::Data(_) => Err(PageError::Corrupt(format!(
+                                "{pid}: expected an index node above the leaf level"
+                            ))),
                         }
+                    })
+                    .and_then(|r| r);
+                if let Err(e) = parsed {
+                    return settle_interrupt(e.into(), out, io);
+                }
+                for &child in &kids {
+                    let c = self
+                        .els
+                        .quant_rect(child)
+                        .map_or(0.0, |r| metric.min_dist_rect_sq(q, r));
+                    if c <= bound_sq {
+                        stack.push((child, depth + 1));
                     }
                 }
             }
@@ -749,14 +806,13 @@ impl<S: Storage> MultidimIndex for HybridTree<S> {
         let region = self.root_region();
         let mut stack = vec![(self.root, region)];
         while let Some((pid, region)) = stack.pop() {
-            match self.read_node_ctx(pid, &mut io, ctx) {
-                Ok(Node::Data(entries)) => {
-                    out.extend(
-                        entries
-                            .iter()
-                            .filter(|e| metric.distance(q, &e.point) <= radius)
-                            .map(|e| e.oid),
-                    );
+            let node = match self.read_node_ctx(pid, &mut io, ctx) {
+                Ok(node) => node,
+                Err(e) => return settle_interrupt(e, out, io),
+            };
+            match &*node {
+                Node::Data(entries) => {
+                    keep_within(entries, &mut out);
                     if apply_result_cap(ctx, &mut out, !stack.is_empty()) {
                         return Ok((
                             QueryOutcome::degraded(out, DegradeReason::BudgetExhausted),
@@ -764,14 +820,13 @@ impl<S: Storage> MultidimIndex for HybridTree<S> {
                         ));
                     }
                 }
-                Ok(Node::Index { kd, .. }) => {
+                Node::Index { kd, .. } => {
                     for (child, child_region) in kd.children_with_regions(&region) {
-                        if metric.min_dist_rect(q, &child_region) <= radius {
+                        if metric.min_dist_rect_sq(q, &child_region) <= bound_sq {
                             stack.push((child, child_region));
                         }
                     }
                 }
-                Err(e) => return settle_interrupt(e, out, io),
             }
         }
         Ok((QueryOutcome::Complete(out), io))
@@ -804,37 +859,48 @@ impl<S: Storage> MultidimIndex for HybridTree<S> {
             if best.len() == k && item.dist > best.peek().unwrap().dist {
                 break;
             }
-            match self.read_node_ctx(item.pid, &mut io, ctx) {
-                Err(e) => return settle_interrupt(e, sorted_hits(best), io),
-                Ok(Node::Data(entries)) => {
+            let node = match self.read_node_ctx(item.pid, &mut io, ctx) {
+                Ok(node) => node,
+                Err(e) => return settle_interrupt(e, sorted_hits(best, metric), io),
+            };
+            match &*node {
+                Node::Data(entries) => {
                     for e in entries {
-                        let d = metric.distance(q, &e.point);
-                        if best.len() < k {
-                            best.push(HeapHit {
-                                dist: d,
-                                oid: e.oid,
-                            });
-                        } else if d < best.peek().unwrap().dist {
-                            best.pop();
-                            best.push(HeapHit {
-                                dist: d,
-                                oid: e.oid,
-                            });
+                        // Early-abandon scan against the current k-th best
+                        // (comparator space; no root per candidate).
+                        let worst = if best.len() < k {
+                            f64::INFINITY
+                        } else {
+                            best.peek().unwrap().dist
+                        };
+                        if let Some(c) = metric.distance_sq_within(q, &e.point, worst) {
+                            if best.len() < k {
+                                best.push(HeapHit {
+                                    dist: c,
+                                    oid: e.oid,
+                                });
+                            } else if c < best.peek().unwrap().dist {
+                                best.pop();
+                                best.push(HeapHit {
+                                    dist: c,
+                                    oid: e.oid,
+                                });
+                            }
                         }
                     }
                 }
-                Ok(Node::Index { kd, .. }) => {
+                Node::Index { kd, .. } => {
                     if self.els.enabled() {
                         // Quantized live boxes bound every child; regions
                         // are not needed.
                         for child in kd.child_ids() {
-                            let d = self
+                            let c = self
                                 .els
                                 .quant_rect(child)
-                                .map_or(0.0, |r| metric.min_dist_rect(q, r));
-                            if best.len() < k || d <= best.peek().unwrap().dist {
+                                .map_or(0.0, |r| metric.min_dist_rect_sq(q, r));
+                            if best.len() < k || c <= best.peek().unwrap().dist {
                                 pq.push(PqNode {
-                                    dist: d,
+                                    dist: c,
                                     pid: child,
                                     region: item.region.clone(),
                                 });
@@ -842,10 +908,10 @@ impl<S: Storage> MultidimIndex for HybridTree<S> {
                         }
                     } else {
                         for (child, child_region) in kd.children_with_regions(&item.region) {
-                            let d = metric.min_dist_rect(q, &child_region);
-                            if best.len() < k || d <= best.peek().unwrap().dist {
+                            let c = metric.min_dist_rect_sq(q, &child_region);
+                            if best.len() < k || c <= best.peek().unwrap().dist {
                                 pq.push(PqNode {
-                                    dist: d,
+                                    dist: c,
                                     pid: child,
                                     region: child_region,
                                 });
@@ -855,7 +921,7 @@ impl<S: Storage> MultidimIndex for HybridTree<S> {
                 }
             }
         }
-        let hits = sorted_hits(best);
+        let hits = sorted_hits(best, metric);
         if clamped {
             return Ok((
                 QueryOutcome::degraded(hits, DegradeReason::BudgetExhausted),
@@ -871,6 +937,11 @@ impl<S: Storage> MultidimIndex for HybridTree<S> {
 
     fn reset_io_stats(&self) {
         self.pool.reset_stats();
+        self.pool.node_cache().reset_stats();
+    }
+
+    fn cache_stats(&self) -> NodeCacheStats {
+        self.pool.node_cache_stats()
     }
 
     fn structure_stats(&self) -> IndexResult<StructureStats> {

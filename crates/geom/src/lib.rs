@@ -22,7 +22,7 @@ mod metric;
 mod point;
 mod rect;
 
-pub use metric::{Chebyshev, Lp, Metric, WeightedEuclidean, L1, L2};
+pub use metric::{range_bound_sq, Chebyshev, Lp, Metric, WeightedEuclidean, L1, L2};
 pub use point::Point;
 pub use rect::Rect;
 

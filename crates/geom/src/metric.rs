@@ -46,10 +46,88 @@ pub trait Metric: Sync {
         (self.distance(q, center) - self.l2_equivalence_factor(q.dim()) * radius).max(0.0)
     }
 
+    /// Comparator-space distance: a strictly monotone transform of
+    /// [`distance`](Metric::distance) that is cheaper to compute — for
+    /// quadratic metrics (L2, weighted L2) the squared distance (no
+    /// `sqrt`), for `L_p` the p-th power (no root), and the identity for
+    /// metrics that are already root-free (L1, L∞).
+    ///
+    /// Query engines compare candidates and pruning bounds in comparator
+    /// space and map back with
+    /// [`distance_from_sq`](Metric::distance_from_sq) once per *reported*
+    /// result, instead of paying one root per candidate. Because the
+    /// transform is monotone, every `<`/`<=` decision agrees with actual
+    /// space, and because `distance` computes the same accumulation
+    /// before its root, `distance_from_sq(distance_sq(a, b))` is
+    /// bit-identical to `distance(a, b)` for the bundled metrics.
+    ///
+    /// Implementations overriding any of `distance_sq`,
+    /// [`min_dist_rect_sq`](Metric::min_dist_rect_sq),
+    /// [`distance_from_sq`](Metric::distance_from_sq), and
+    /// [`distance_to_sq`](Metric::distance_to_sq) must override all four
+    /// consistently (same transform everywhere).
+    fn distance_sq(&self, a: &Point, b: &Point) -> f64 {
+        self.distance(a, b)
+    }
+
+    /// Comparator-space form of [`min_dist_rect`](Metric::min_dist_rect):
+    /// `distance_to_sq(min_dist_rect(q, rect))` up to rounding, computed
+    /// without the root. The lower-bound contract carries over: for all
+    /// `p ∈ rect`, `min_dist_rect_sq(q, rect) <= distance_sq(q, p)`.
+    fn min_dist_rect_sq(&self, q: &Point, rect: &Rect) -> f64 {
+        self.min_dist_rect(q, rect)
+    }
+
+    /// Maps a comparator-space value back to an actual distance (the
+    /// inverse of the transform; one root per reported result).
+    fn distance_from_sq(&self, d_sq: f64) -> f64 {
+        d_sq
+    }
+
+    /// Maps an actual distance (e.g. a range-query radius) into
+    /// comparator space.
+    fn distance_to_sq(&self, d: f64) -> f64 {
+        d
+    }
+
+    /// Partial-distance early-abandon kernel: computes
+    /// `distance_sq(a, b)`, but may bail out as soon as the partial
+    /// accumulation already exceeds `bound_sq` (sound because every
+    /// bundled metric accumulates monotonically — adding a non-negative
+    /// term or taking a max never decreases the partial value).
+    ///
+    /// Returns `Some(d_sq)` iff `distance_sq(a, b) <= bound_sq`, with
+    /// `d_sq` bit-identical to the full `distance_sq` (the accumulation
+    /// order is unchanged; abandoning only skips work for candidates
+    /// that would be rejected anyway); `None` otherwise.
+    fn distance_sq_within(&self, a: &Point, b: &Point, bound_sq: f64) -> Option<f64> {
+        let d_sq = self.distance_sq(a, b);
+        (d_sq <= bound_sq).then_some(d_sq)
+    }
+
     /// Human-readable name for reports.
     fn name(&self) -> &'static str {
         "custom"
     }
+}
+
+/// Dimensions scanned between bound checks in the early-abandon kernels:
+/// checking every dimension costs more than it saves; every 8 keeps the
+/// partial-sum loop tight while still abandoning far candidates early.
+const ABANDON_STRIDE: usize = 8;
+
+/// Comparator-space pruning bound for a distance-range query of `radius`.
+///
+/// `distance_to_sq(radius)` relaxed by one part in 10^12, which dominates
+/// the few ulps of rounding the forward transform (`d*d`, `powf`) can
+/// lose relative to the comparator value accumulated term-by-term. Using
+/// the relaxed bound for node pruning and candidate abandoning can only
+/// *admit* borderline candidates, never reject true ones; engines then
+/// keep exactly those survivors with `distance_from_sq(d_sq) <= radius`
+/// — one root per near-candidate, and a result set identical to
+/// filtering on `distance(q, p) <= radius` directly.
+pub fn range_bound_sq(metric: &dyn Metric, radius: f64) -> f64 {
+    metric.distance_to_sq(radius) * (1.0 + 1e-12)
 }
 
 /// Per-dimension distance from a coordinate to an interval; 0 inside.
@@ -95,6 +173,25 @@ impl Metric for L1 {
         (dim as f64).sqrt()
     }
 
+    // L1 is root-free already: comparator space is actual space (the
+    // trait defaults), but the early-abandon kernel still pays off.
+    fn distance_sq_within(&self, a: &Point, b: &Point, bound_sq: f64) -> Option<f64> {
+        debug_assert_eq!(a.dim(), b.dim());
+        let mut acc = 0.0f64;
+        let mut d = 0;
+        while d < a.dim() {
+            let end = (d + ABANDON_STRIDE).min(a.dim());
+            while d < end {
+                acc += (f64::from(a.coord(d)) - f64::from(b.coord(d))).abs();
+                d += 1;
+            }
+            if acc > bound_sq {
+                return None;
+            }
+        }
+        Some(acc)
+    }
+
     fn name(&self) -> &'static str {
         "L1"
     }
@@ -133,6 +230,58 @@ impl Metric for L2 {
 
     fn l2_equivalence_factor(&self, _dim: usize) -> f64 {
         1.0
+    }
+
+    fn distance_sq(&self, a: &Point, b: &Point) -> f64 {
+        debug_assert_eq!(a.dim(), b.dim());
+        // Identical accumulation to `distance`, minus the final sqrt —
+        // so `distance_from_sq(distance_sq(..))` is bit-identical.
+        (0..a.dim())
+            .map(|d| {
+                let diff = f64::from(a.coord(d)) - f64::from(b.coord(d));
+                diff * diff
+            })
+            .sum::<f64>()
+    }
+
+    fn min_dist_rect_sq(&self, q: &Point, rect: &Rect) -> f64 {
+        debug_assert_eq!(q.dim(), rect.dim());
+        (0..q.dim())
+            .map(|d| {
+                let g = axis_gap(
+                    f64::from(q.coord(d)),
+                    f64::from(rect.lo(d)),
+                    f64::from(rect.hi(d)),
+                );
+                g * g
+            })
+            .sum::<f64>()
+    }
+
+    fn distance_from_sq(&self, d_sq: f64) -> f64 {
+        d_sq.sqrt()
+    }
+
+    fn distance_to_sq(&self, d: f64) -> f64 {
+        d * d
+    }
+
+    fn distance_sq_within(&self, a: &Point, b: &Point, bound_sq: f64) -> Option<f64> {
+        debug_assert_eq!(a.dim(), b.dim());
+        let mut acc = 0.0f64;
+        let mut d = 0;
+        while d < a.dim() {
+            let end = (d + ABANDON_STRIDE).min(a.dim());
+            while d < end {
+                let diff = f64::from(a.coord(d)) - f64::from(b.coord(d));
+                acc += diff * diff;
+                d += 1;
+            }
+            if acc > bound_sq {
+                return None;
+            }
+        }
+        Some(acc)
     }
 
     fn name(&self) -> &'static str {
@@ -200,6 +349,59 @@ impl Metric for Lp {
         }
     }
 
+    // Comparator space for L_p is the p-th power (root-free).
+    fn distance_sq(&self, a: &Point, b: &Point) -> f64 {
+        debug_assert_eq!(a.dim(), b.dim());
+        (0..a.dim())
+            .map(|d| {
+                (f64::from(a.coord(d)) - f64::from(b.coord(d)))
+                    .abs()
+                    .powf(self.p)
+            })
+            .sum::<f64>()
+    }
+
+    fn min_dist_rect_sq(&self, q: &Point, rect: &Rect) -> f64 {
+        debug_assert_eq!(q.dim(), rect.dim());
+        (0..q.dim())
+            .map(|d| {
+                axis_gap(
+                    f64::from(q.coord(d)),
+                    f64::from(rect.lo(d)),
+                    f64::from(rect.hi(d)),
+                )
+                .powf(self.p)
+            })
+            .sum::<f64>()
+    }
+
+    fn distance_from_sq(&self, d_sq: f64) -> f64 {
+        d_sq.powf(1.0 / self.p)
+    }
+
+    fn distance_to_sq(&self, d: f64) -> f64 {
+        d.powf(self.p)
+    }
+
+    fn distance_sq_within(&self, a: &Point, b: &Point, bound_sq: f64) -> Option<f64> {
+        debug_assert_eq!(a.dim(), b.dim());
+        let mut acc = 0.0f64;
+        let mut d = 0;
+        while d < a.dim() {
+            let end = (d + ABANDON_STRIDE).min(a.dim());
+            while d < end {
+                acc += (f64::from(a.coord(d)) - f64::from(b.coord(d)))
+                    .abs()
+                    .powf(self.p);
+                d += 1;
+            }
+            if acc > bound_sq {
+                return None;
+            }
+        }
+        Some(acc)
+    }
+
     fn name(&self) -> &'static str {
         "Lp"
     }
@@ -233,6 +435,25 @@ impl Metric for Chebyshev {
     fn l2_equivalence_factor(&self, _dim: usize) -> f64 {
         // ||v||_inf <= ||v||_2.
         1.0
+    }
+
+    // L∞ is root-free; the running max is monotone, so early abandon is
+    // sound here too.
+    fn distance_sq_within(&self, a: &Point, b: &Point, bound_sq: f64) -> Option<f64> {
+        debug_assert_eq!(a.dim(), b.dim());
+        let mut acc = 0.0f64;
+        let mut d = 0;
+        while d < a.dim() {
+            let end = (d + ABANDON_STRIDE).min(a.dim());
+            while d < end {
+                acc = acc.max((f64::from(a.coord(d)) - f64::from(b.coord(d))).abs());
+                d += 1;
+            }
+            if acc > bound_sq {
+                return None;
+            }
+        }
+        Some(acc)
     }
 
     fn name(&self) -> &'static str {
@@ -304,6 +525,55 @@ impl Metric for WeightedEuclidean {
     fn l2_equivalence_factor(&self, _dim: usize) -> f64 {
         // sqrt(sum w_d v_d^2) <= sqrt(max w) ||v||_2.
         self.max_weight_sqrt
+    }
+
+    fn distance_sq(&self, a: &Point, b: &Point) -> f64 {
+        debug_assert_eq!(a.dim(), self.weights.len());
+        (0..a.dim())
+            .map(|d| {
+                let diff = f64::from(a.coord(d)) - f64::from(b.coord(d));
+                self.weights[d] * diff * diff
+            })
+            .sum::<f64>()
+    }
+
+    fn min_dist_rect_sq(&self, q: &Point, rect: &Rect) -> f64 {
+        (0..q.dim())
+            .map(|d| {
+                let g = axis_gap(
+                    f64::from(q.coord(d)),
+                    f64::from(rect.lo(d)),
+                    f64::from(rect.hi(d)),
+                );
+                self.weights[d] * g * g
+            })
+            .sum::<f64>()
+    }
+
+    fn distance_from_sq(&self, d_sq: f64) -> f64 {
+        d_sq.sqrt()
+    }
+
+    fn distance_to_sq(&self, d: f64) -> f64 {
+        d * d
+    }
+
+    fn distance_sq_within(&self, a: &Point, b: &Point, bound_sq: f64) -> Option<f64> {
+        debug_assert_eq!(a.dim(), self.weights.len());
+        let mut acc = 0.0f64;
+        let mut d = 0;
+        while d < a.dim() {
+            let end = (d + ABANDON_STRIDE).min(a.dim());
+            while d < end {
+                let diff = f64::from(a.coord(d)) - f64::from(b.coord(d));
+                acc += self.weights[d] * diff * diff;
+                d += 1;
+            }
+            if acc > bound_sq {
+                return None;
+            }
+        }
+        Some(acc)
     }
 
     fn name(&self) -> &'static str {
@@ -448,6 +718,65 @@ mod tests {
                 let true_dist = m.distance(&qp, &ip);
                 prop_assert!(bound <= true_dist + 1e-6,
                     "{}: bound {} > dist {}", m.name(), bound, true_dist);
+            }
+        }
+
+        /// Comparator-space consistency: mapping `distance_sq` back must
+        /// reproduce `distance` *bit-identically* (same accumulation,
+        /// root applied once at the end), the early-abandon kernel must
+        /// agree exactly with the full kernel, and the squared rect
+        /// bound must keep the no-false-dismissals contract.
+        #[test]
+        fn comparator_space_is_consistent(
+            a in proptest::collection::vec(-2.0f32..2.0, 12),
+            b in proptest::collection::vec(-2.0f32..2.0, 12),
+            lo in proptest::collection::vec(0.0f32..0.5, 12),
+            ext in proptest::collection::vec(0.0f32..0.5, 12),
+        ) {
+            let hi: Vec<f32> = lo.iter().zip(&ext).map(|(l, e)| l + e).collect();
+            let rect = Rect::new(lo, hi);
+            let pa = Point::new(a);
+            let pb = Point::new(b);
+            let metrics: Vec<Box<dyn Metric>> = vec![
+                Box::new(L1), Box::new(L2), Box::new(Chebyshev),
+                Box::new(Lp::new(1.5)), Box::new(Lp::new(3.0)),
+                Box::new(WeightedEuclidean::new(vec![
+                    0.1, 2.0, 1.0, 0.5, 1.5, 0.25, 3.0, 1.0, 0.75, 2.5, 0.0, 1.0,
+                ])),
+            ];
+            for m in &metrics {
+                let d = m.distance(&pa, &pb);
+                let d_sq = m.distance_sq(&pa, &pb);
+                prop_assert_eq!(
+                    m.distance_from_sq(d_sq).to_bits(), d.to_bits(),
+                    "{}: from_sq(distance_sq) must be bit-identical to distance",
+                    m.name()
+                );
+                // Unbounded early-abandon completes with the exact value.
+                let within = m.distance_sq_within(&pa, &pb, f64::INFINITY);
+                prop_assert_eq!(within.map(f64::to_bits), Some(d_sq.to_bits()),
+                    "{}: unbounded kernel must equal distance_sq", m.name());
+                // Bounded: Some(d_sq) iff d_sq <= bound, for bounds on
+                // both sides of the true value.
+                for bound in [d_sq * 0.5, d_sq, d_sq * 2.0 + 1e-9] {
+                    let got = m.distance_sq_within(&pa, &pb, bound);
+                    if d_sq <= bound {
+                        prop_assert_eq!(got.map(f64::to_bits), Some(d_sq.to_bits()));
+                    } else {
+                        prop_assert!(got.is_none());
+                    }
+                }
+                // Squared MINDIST keeps the lower-bound contract against
+                // a rect corner (a point of the rect).
+                let corner = Point::new(
+                    (0..rect.dim()).map(|d| rect.lo(d)).collect::<Vec<_>>(),
+                );
+                prop_assert!(
+                    m.min_dist_rect_sq(&pa, &rect)
+                        <= m.distance_sq(&pa, &corner) + 1e-6,
+                    "{}: squared mindist must lower-bound squared distance",
+                    m.name()
+                );
             }
         }
 

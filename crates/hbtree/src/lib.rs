@@ -36,8 +36,8 @@ use hyt_index::{
     MultidimIndex, QueryContext, QueryOutcome, StructureStats,
 };
 use hyt_page::{
-    BufferPool, ByteReader, ByteWriter, IoStats, MemStorage, PageError, PageId, PageResult,
-    Storage, DEFAULT_PAGE_SIZE,
+    BufferPool, ByteReader, ByteWriter, IoStats, MemStorage, NodeCacheStats, PageError, PageId,
+    PageResult, Storage, DEFAULT_PAGE_SIZE,
 };
 use std::collections::HashSet;
 
@@ -407,6 +407,10 @@ pub struct HbTreeConfig {
     pub page_size: usize,
     /// Buffer-pool capacity in pages (0 = cold-cache accounting).
     pub pool_pages: usize,
+    /// Decoded-node cache capacity in entries; 0 (the default) disables
+    /// it. Enabling it never changes query results or logical I/O
+    /// accounting, only the number of node-decode invocations.
+    pub node_cache_entries: usize,
 }
 
 impl Default for HbTreeConfig {
@@ -414,6 +418,7 @@ impl Default for HbTreeConfig {
         Self {
             page_size: DEFAULT_PAGE_SIZE,
             pool_pages: 0,
+            node_cache_entries: 0,
         }
     }
 }
@@ -473,7 +478,7 @@ impl<S: Storage> HbTree<S> {
                 cfg.page_size
             )));
         }
-        let pool = BufferPool::new(storage, cfg.pool_pages);
+        let pool = BufferPool::with_node_cache(storage, cfg.pool_pages, cfg.node_cache_entries);
         let root = pool.allocate()?;
         pool.write(
             root,
@@ -506,8 +511,10 @@ impl<S: Storage> HbTree<S> {
     }
 
     fn read_node(&self, pid: PageId) -> IndexResult<HbNode> {
-        let buf = self.pool.read(pid)?;
-        Ok(HbNode::decode(&buf, self.dim)?)
+        let mut io = IoStats::default();
+        Ok(self
+            .pool
+            .read_tracked_with(pid, &mut io, |buf| HbNode::decode(buf, self.dim))??)
     }
 
     fn read_node_ctx(
@@ -515,9 +522,9 @@ impl<S: Storage> HbTree<S> {
         pid: PageId,
         io: &mut IoStats,
         ctx: &QueryContext,
-    ) -> IndexResult<HbNode> {
-        let buf = self.pool.read_tracked_ctx(pid, io, ctx)?;
-        Ok(HbNode::decode(&buf, self.dim)?)
+    ) -> IndexResult<std::sync::Arc<HbNode>> {
+        self.pool
+            .read_decoded_ctx(pid, io, ctx, |buf| Ok(HbNode::decode(buf, self.dim)?))
     }
 
     fn write_node(&mut self, pid: PageId, node: &HbNode) -> IndexResult<()> {
@@ -819,12 +826,13 @@ impl<S: Storage> HbTree<S> {
             if !visited.insert(pid) {
                 continue;
             }
-            match self.read_node_ctx(pid, io, ctx)? {
+            let node = self.read_node_ctx(pid, io, ctx)?;
+            match &*node {
                 HbNode::Data { entries, redirects } => {
-                    if visit(&entries) {
+                    if visit(entries) {
                         return Ok(());
                     }
-                    for r in &redirects {
+                    for r in redirects {
                         if r.constraints.iter().all(|c| c.admits_box(query)) {
                             stack.push(r.target);
                         }
@@ -1039,6 +1047,11 @@ impl<S: Storage> MultidimIndex for HbTree<S> {
 
     fn reset_io_stats(&self) {
         self.pool.reset_stats();
+        self.pool.node_cache().reset_stats();
+    }
+
+    fn cache_stats(&self) -> NodeCacheStats {
+        self.pool.node_cache_stats()
     }
 
     fn structure_stats(&self) -> IndexResult<StructureStats> {

@@ -10,7 +10,7 @@ use hyt_geom::{Metric, Point, Rect};
 use hyt_page::{IoStats, PageError};
 use std::fmt;
 
-pub use hyt_page::{CancelToken, Interrupt, QueryContext};
+pub use hyt_page::{CancelToken, Interrupt, NodeCacheStats, QueryContext};
 
 /// Errors surfaced by index operations.
 #[derive(Debug)]
@@ -388,6 +388,14 @@ pub trait MultidimIndex: Send + Sync {
 
     /// Resets the pool-global I/O counters.
     fn reset_io_stats(&self);
+
+    /// Decoded-node cache counters for this index's pool since the last
+    /// [`reset_io_stats`](Self::reset_io_stats) (`misses` is the decode
+    /// count of the workload). All zeros for engines without such a
+    /// cache, or with it disabled.
+    fn cache_stats(&self) -> NodeCacheStats {
+        NodeCacheStats::default()
+    }
 
     /// Structural statistics of the current tree.
     fn structure_stats(&self) -> IndexResult<StructureStats>;

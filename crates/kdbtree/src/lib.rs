@@ -22,17 +22,18 @@
 //! Split convention: a split at `pos` sends `x < pos` left and `x >= pos`
 //! right, everywhere, so clean partitions stay clean under cascades.
 
-use hyt_geom::{Coord, Metric, Point, Rect};
+use hyt_geom::{range_bound_sq, Coord, Metric, Point, Rect};
 use hyt_index::{
     apply_result_cap, check_dim, settle_interrupt, DegradeReason, IndexError, IndexResult,
     MultidimIndex, QueryContext, QueryOutcome, StructureStats,
 };
 use hyt_page::{
-    BufferPool, ByteReader, ByteWriter, IoStats, MemStorage, PageError, PageId, PageResult,
-    Storage, DEFAULT_PAGE_SIZE,
+    BufferPool, ByteReader, ByteWriter, IoStats, MemStorage, NodeCacheStats, PageError, PageId,
+    PageResult, Storage, DEFAULT_PAGE_SIZE,
 };
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 const TAG_DATA: u8 = 0;
 const TAG_INDEX: u8 = 1;
@@ -267,6 +268,10 @@ pub struct KdbTreeConfig {
     pub page_size: usize,
     /// Buffer-pool capacity in pages (0 = cold-cache accounting).
     pub pool_pages: usize,
+    /// Decoded-node cache capacity in entries; 0 (the default) disables
+    /// it. Enabling it never changes query results or logical I/O
+    /// accounting, only the number of node-decode invocations.
+    pub node_cache_entries: usize,
 }
 
 impl Default for KdbTreeConfig {
@@ -274,6 +279,7 @@ impl Default for KdbTreeConfig {
         Self {
             page_size: DEFAULT_PAGE_SIZE,
             pool_pages: 0,
+            node_cache_entries: 0,
         }
     }
 }
@@ -325,7 +331,7 @@ impl<S: Storage> KdbTree<S> {
                 cfg.page_size
             )));
         }
-        let pool = BufferPool::new(storage, cfg.pool_pages);
+        let pool = BufferPool::with_node_cache(storage, cfg.pool_pages, cfg.node_cache_entries);
         let root = pool.allocate()?;
         pool.write(root, &KdbNode::Data(Vec::new()).encode(dim))?;
         Ok(Self {
@@ -352,8 +358,10 @@ impl<S: Storage> KdbTree<S> {
     }
 
     fn read_node(&self, pid: PageId) -> IndexResult<KdbNode> {
-        let buf = self.pool.read(pid)?;
-        Ok(KdbNode::decode(&buf, self.dim)?)
+        let mut io = IoStats::default();
+        Ok(self
+            .pool
+            .read_tracked_with(pid, &mut io, |buf| KdbNode::decode(buf, self.dim))??)
     }
 
     fn read_node_ctx(
@@ -361,9 +369,9 @@ impl<S: Storage> KdbTree<S> {
         pid: PageId,
         io: &mut IoStats,
         ctx: &QueryContext,
-    ) -> IndexResult<KdbNode> {
-        let buf = self.pool.read_tracked_ctx(pid, io, ctx)?;
-        Ok(KdbNode::decode(&buf, self.dim)?)
+    ) -> IndexResult<Arc<KdbNode>> {
+        self.pool
+            .read_decoded_ctx(pid, io, ctx, |buf| Ok(KdbNode::decode(buf, self.dim)?))
     }
 
     fn write_node(&mut self, pid: PageId, node: &KdbNode) -> IndexResult<()> {
@@ -692,6 +700,7 @@ impl<S: Storage> KdbTree<S> {
     }
 }
 
+/// Best-first queue entry; `dist` is in comparator (squared) space.
 struct PqNode {
     dist: f64,
     pid: PageId,
@@ -715,6 +724,14 @@ impl Ord for PqNode {
             .total_cmp(&self.dist)
             .then(other.pid.cmp(&self.pid))
     }
+}
+
+/// Converts a comparator-space best-k list to actual distances — the
+/// single per-result root of the hot path.
+fn finish_hits(best: Vec<(u64, f64)>, metric: &dyn Metric) -> Vec<(u64, f64)> {
+    best.into_iter()
+        .map(|(oid, c)| (oid, metric.distance_from_sq(c)))
+        .collect()
 }
 
 impl<S: Storage> MultidimIndex for KdbTree<S> {
@@ -807,9 +824,12 @@ impl<S: Storage> MultidimIndex for KdbTree<S> {
         let mut out = Vec::new();
         let mut stack = vec![(self.root, self.root_region())];
         while let Some((pid, region)) = stack.pop() {
-            match self.read_node_ctx(pid, &mut io, ctx) {
+            let node = match self.read_node_ctx(pid, &mut io, ctx) {
                 Err(e) => return settle_interrupt(e, out, io),
-                Ok(KdbNode::Data(entries)) => {
+                Ok(node) => node,
+            };
+            match &*node {
+                KdbNode::Data(entries) => {
                     out.extend(
                         entries
                             .iter()
@@ -823,7 +843,7 @@ impl<S: Storage> MultidimIndex for KdbTree<S> {
                         ));
                     }
                 }
-                Ok(KdbNode::Index { kd, .. }) => {
+                KdbNode::Index { kd, .. } => {
                     let mut kids = Vec::new();
                     kd.children_with_regions(&region, &mut kids);
                     for (child, creg) in kids {
@@ -849,18 +869,23 @@ impl<S: Storage> MultidimIndex for KdbTree<S> {
         if self.len == 0 {
             return Ok((QueryOutcome::Complete(Vec::new()), io));
         }
+        let bound_sq = range_bound_sq(metric, radius);
         let mut out = Vec::new();
         let mut stack = vec![(self.root, self.root_region())];
         while let Some((pid, region)) = stack.pop() {
-            match self.read_node_ctx(pid, &mut io, ctx) {
+            let node = match self.read_node_ctx(pid, &mut io, ctx) {
                 Err(e) => return settle_interrupt(e, out, io),
-                Ok(KdbNode::Data(entries)) => {
-                    out.extend(
-                        entries
-                            .iter()
-                            .filter(|(p, _)| metric.distance(q, p) <= radius)
-                            .map(|(_, oid)| *oid),
-                    );
+                Ok(node) => node,
+            };
+            match &*node {
+                KdbNode::Data(entries) => {
+                    for (p, oid) in entries {
+                        if let Some(c) = metric.distance_sq_within(q, p, bound_sq) {
+                            if metric.distance_from_sq(c) <= radius {
+                                out.push(*oid);
+                            }
+                        }
+                    }
                     if apply_result_cap(ctx, &mut out, !stack.is_empty()) {
                         return Ok((
                             QueryOutcome::degraded(out, DegradeReason::BudgetExhausted),
@@ -868,11 +893,11 @@ impl<S: Storage> MultidimIndex for KdbTree<S> {
                         ));
                     }
                 }
-                Ok(KdbNode::Index { kd, .. }) => {
+                KdbNode::Index { kd, .. } => {
                     let mut kids = Vec::new();
                     kd.children_with_regions(&region, &mut kids);
                     for (child, creg) in kids {
-                        if metric.min_dist_rect(q, &creg) <= radius {
+                        if metric.min_dist_rect_sq(q, &creg) <= bound_sq {
                             stack.push((child, creg));
                         }
                     }
@@ -897,7 +922,8 @@ impl<S: Storage> MultidimIndex for KdbTree<S> {
             return Ok((QueryOutcome::Complete(Vec::new()), io));
         }
         let mut pq = BinaryHeap::new();
-        // (dist, oid) results kept in a simple sorted vec (k is small).
+        // (oid, comparator-space dist) kept in a simple sorted vec
+        // (k is small); converted to actual distances on the way out.
         let mut best: Vec<(u64, f64)> = Vec::new();
         pq.push(PqNode {
             dist: 0.0,
@@ -908,29 +934,38 @@ impl<S: Storage> MultidimIndex for KdbTree<S> {
             if best.len() == k && item.dist > best.last().unwrap().1 {
                 break;
             }
-            match self.read_node_ctx(item.pid, &mut io, ctx) {
-                Err(e) => return settle_interrupt(e, best, io),
-                Ok(KdbNode::Data(entries)) => {
+            let node = match self.read_node_ctx(item.pid, &mut io, ctx) {
+                Err(e) => return settle_interrupt(e, finish_hits(best, metric), io),
+                Ok(node) => node,
+            };
+            match &*node {
+                KdbNode::Data(entries) => {
                     for (p, oid) in entries {
-                        let d = metric.distance(q, &p);
-                        if best.len() < k {
-                            best.push((oid, d));
-                            best.sort_by(|a, b| a.1.total_cmp(&b.1));
-                        } else if d < best.last().unwrap().1 {
-                            best.pop();
-                            best.push((oid, d));
-                            best.sort_by(|a, b| a.1.total_cmp(&b.1));
+                        let worst = if best.len() < k {
+                            f64::INFINITY
+                        } else {
+                            best.last().unwrap().1
+                        };
+                        if let Some(c) = metric.distance_sq_within(q, p, worst) {
+                            if best.len() < k {
+                                best.push((*oid, c));
+                                best.sort_by(|a, b| a.1.total_cmp(&b.1));
+                            } else if c < best.last().unwrap().1 {
+                                best.pop();
+                                best.push((*oid, c));
+                                best.sort_by(|a, b| a.1.total_cmp(&b.1));
+                            }
                         }
                     }
                 }
-                Ok(KdbNode::Index { kd, .. }) => {
+                KdbNode::Index { kd, .. } => {
                     let mut kids = Vec::new();
                     kd.children_with_regions(&item.region, &mut kids);
                     for (child, creg) in kids {
-                        let d = metric.min_dist_rect(q, &creg);
-                        if best.len() < k || d <= best.last().unwrap().1 {
+                        let c = metric.min_dist_rect_sq(q, &creg);
+                        if best.len() < k || c <= best.last().unwrap().1 {
                             pq.push(PqNode {
-                                dist: d,
+                                dist: c,
                                 pid: child,
                                 region: creg,
                             });
@@ -939,13 +974,14 @@ impl<S: Storage> MultidimIndex for KdbTree<S> {
                 }
             }
         }
+        let hits = finish_hits(best, metric);
         if clamped {
             return Ok((
-                QueryOutcome::degraded(best, DegradeReason::BudgetExhausted),
+                QueryOutcome::degraded(hits, DegradeReason::BudgetExhausted),
                 io,
             ));
         }
-        Ok((QueryOutcome::Complete(best), io))
+        Ok((QueryOutcome::Complete(hits), io))
     }
 
     fn io_stats(&self) -> IoStats {
@@ -954,6 +990,11 @@ impl<S: Storage> MultidimIndex for KdbTree<S> {
 
     fn reset_io_stats(&self) {
         self.pool.reset_stats();
+        self.pool.node_cache().reset_stats();
+    }
+
+    fn cache_stats(&self) -> NodeCacheStats {
+        self.pool.node_cache_stats()
     }
 
     fn structure_stats(&self) -> IndexResult<StructureStats> {

@@ -1,0 +1,381 @@
+//! Decoded-node cache: shares *decoded* page contents across queries.
+//!
+//! The buffer pool caches page **bytes**; every traversal still pays a
+//! full node decode per visit (entry vectors, points, kd-subtrees). On a
+//! warm pool that decode dominates query CPU. This cache sits beside the
+//! pool and memoizes the decoded form behind an `Arc`, so concurrent
+//! queries share one decoded node without copying.
+//!
+//! # Keying and invalidation
+//!
+//! Entries are keyed by `(PageId, page write epoch)`. The epoch is a
+//! per-page monotone counter maintained here and bumped by the pool on
+//! every `write` and `free` of the page — a superset of the checksummed
+//! store's commit epochs, which only advance at catalog commits and so
+//! cannot distinguish two rewrites of the same page within one session.
+//! Invalidation is eager (the entry is dropped under the shard lock when
+//! the epoch bumps), and inserts carry the epoch observed *before* the
+//! bytes were read: an insert whose epoch is no longer current is
+//! silently discarded, so a decode racing a concurrent rewrite can never
+//! publish a stale node.
+//!
+//! # Accounting
+//!
+//! A cache hit does **not** change what the query *requested*: the pool
+//! still ticks the per-query and global `logical_reads`/`seq_reads`
+//! counters (and governance budgets are charged) exactly as if the page
+//! had been fetched. Only the decode is skipped. The paper's cost model
+//! counts node *visits*, not decodes, so EDA accounting is unchanged.
+//!
+//! Like the buffer pool, the table is sharded behind `parking_lot`
+//! mutexes above [`SHARDING_THRESHOLD`](crate::SHARDING_THRESHOLD)
+//! entries and bounded by entry count with per-shard LRU eviction.
+//! Capacity `0` disables the cache entirely (every lookup misses for
+//! free, nothing is stored) — the default, preserving the paper's
+//! decode-per-visit behavior unless a caller opts in.
+
+use crate::PageId;
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+/// Shard count for large caches (power of two; ids map by bitmask),
+/// mirroring the buffer pool's sharding.
+const NUM_SHARDS: usize = 16;
+
+/// Type-erased decoded node. Each engine caches exactly one concrete
+/// node type per pool, recovered with [`NodeCache::get_as`].
+pub type CachedNode = Arc<dyn Any + Send + Sync>;
+
+/// Hit/miss counters for a [`NodeCache`]. A *miss* is exactly one
+/// `decode` invocation on the caller's side, so `misses` is the decode
+/// count of a cache-enabled workload.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeCacheStats {
+    /// Lookups served from the cache (decode skipped).
+    pub hits: u64,
+    /// Lookups that fell through to a decode.
+    pub misses: u64,
+    /// Entries dropped by LRU capacity pressure.
+    pub evictions: u64,
+    /// Entries dropped because their page was rewritten or freed.
+    pub invalidations: u64,
+}
+
+impl NodeCacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct CacheEntry {
+    /// Page epoch the node was decoded at.
+    epoch: u64,
+    node: CachedNode,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct CacheShard {
+    entries: HashMap<PageId, CacheEntry>,
+    /// Per-page write epochs; monotone, retained across eviction and
+    /// free so a reallocated page id can never alias an old epoch.
+    epochs: HashMap<PageId, u64>,
+    /// Per-shard LRU clock; monotone under the shard lock.
+    tick: u64,
+    /// This shard's slice of the entry capacity.
+    capacity: usize,
+}
+
+impl CacheShard {
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+/// Sharded, epoch-keyed cache of decoded nodes (see module docs).
+pub struct NodeCache {
+    shards: Box<[Mutex<CacheShard>]>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl NodeCache {
+    /// Creates a cache bounded to `capacity` decoded nodes; `0` disables
+    /// it (all operations become no-ops).
+    pub fn new(capacity: usize) -> Self {
+        let n = if capacity == 0 {
+            0
+        } else if capacity < crate::SHARDING_THRESHOLD {
+            1
+        } else {
+            NUM_SHARDS
+        };
+        let shards = (0..n)
+            .map(|i| {
+                let cap = capacity / n.max(1) + usize::from(i < capacity % n.max(1));
+                Mutex::new(CacheShard {
+                    capacity: cap,
+                    ..CacheShard::default()
+                })
+            })
+            .collect();
+        Self {
+            shards,
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the cache stores anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Maximum number of resident decoded nodes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn shard(&self, id: PageId) -> &Mutex<CacheShard> {
+        &self.shards[id.0 as usize & (self.shards.len() - 1)]
+    }
+
+    /// The page's current write epoch (0 if never written through the
+    /// owning pool). Callers snapshot this *before* reading page bytes
+    /// and pass it to [`insert`](Self::insert).
+    pub fn epoch(&self, id: PageId) -> u64 {
+        if !self.is_enabled() {
+            return 0;
+        }
+        self.shard(id).lock().epochs.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Looks up the decoded node for `id`, downcast to `T`. Counts a hit
+    /// only when a current entry of the right type is found; anything
+    /// else counts a miss (the caller will decode).
+    pub fn get_as<T: Send + Sync + 'static>(&self, id: PageId) -> Option<Arc<T>> {
+        if !self.is_enabled() {
+            // Still a decode on the caller's side: ticking the miss
+            // counter here keeps `misses` == decode count in both cache
+            // modes, which is what the perf trajectory compares.
+            self.misses.fetch_add(1, Relaxed);
+            return None;
+        }
+        let mut shard = self.shard(id).lock();
+        let tick = shard.next_tick();
+        // Eager invalidation keeps resident entries current by
+        // construction; the epoch comparison is a structural guarantee
+        // that a stale decode can never be served regardless.
+        let current = shard.epochs.get(&id).copied().unwrap_or(0);
+        if let Some(e) = shard.entries.get_mut(&id) {
+            if e.epoch == current {
+                if let Ok(node) = Arc::clone(&e.node).downcast::<T>() {
+                    e.last_used = tick;
+                    drop(shard);
+                    self.hits.fetch_add(1, Relaxed);
+                    return Some(node);
+                }
+            }
+        }
+        drop(shard);
+        self.misses.fetch_add(1, Relaxed);
+        None
+    }
+
+    /// Publishes a decoded node for `id`, tagged with the `epoch` the
+    /// caller observed before reading the page bytes. If the page has
+    /// been rewritten or freed since (epoch advanced), the insert is
+    /// discarded — stale decodes never become visible.
+    pub fn insert(&self, id: PageId, epoch: u64, node: CachedNode) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut shard = self.shard(id).lock();
+        if shard.epochs.get(&id).copied().unwrap_or(0) != epoch {
+            return; // decoded bytes are from a superseded version
+        }
+        let tick = shard.next_tick();
+        // Make room first so the new entry cannot evict itself.
+        let mut evicted = 0u64;
+        while shard.entries.len() >= shard.capacity.max(1)
+            && !shard.entries.contains_key(&id)
+            && !shard.entries.is_empty()
+        {
+            let victim = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(id, _)| *id);
+            let Some(victim) = victim else { break };
+            shard.entries.remove(&victim);
+            evicted += 1;
+        }
+        shard.entries.insert(
+            id,
+            CacheEntry {
+                epoch,
+                node,
+                last_used: tick,
+            },
+        );
+        drop(shard);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Relaxed);
+        }
+    }
+
+    /// Advances the page's epoch and drops any cached entry. The owning
+    /// pool calls this on every page `write` and `free`.
+    pub fn invalidate(&self, id: PageId) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut shard = self.shard(id).lock();
+        *shard.epochs.entry(id).or_insert(0) += 1;
+        let dropped = shard.entries.remove(&id).is_some();
+        drop(shard);
+        if dropped {
+            self.invalidations.fetch_add(1, Relaxed);
+        }
+    }
+
+    /// Number of decoded nodes currently resident.
+    pub fn resident(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().entries.len()).sum()
+    }
+
+    /// Whether a (current) entry for `id` is resident, without touching
+    /// hit/miss counters or LRU order. Test/introspection helper.
+    pub fn contains(&self, id: PageId) -> bool {
+        self.is_enabled() && self.shard(id).lock().entries.contains_key(&id)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> NodeCacheStats {
+        NodeCacheStats {
+            hits: self.hits.load(Relaxed),
+            misses: self.misses.load(Relaxed),
+            evictions: self.evictions.load(Relaxed),
+            invalidations: self.invalidations.load(Relaxed),
+        }
+    }
+
+    /// Resets the counters (resident entries are kept).
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Relaxed);
+        self.misses.store(0, Relaxed);
+        self.evictions.store(0, Relaxed);
+        self.invalidations.store(0, Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arc(v: u32) -> CachedNode {
+        Arc::new(v)
+    }
+
+    #[test]
+    fn disabled_cache_is_inert() {
+        let c = NodeCache::new(0);
+        assert!(!c.is_enabled());
+        c.insert(PageId(1), 0, arc(7));
+        assert!(c.get_as::<u32>(PageId(1)).is_none());
+        // The miss counter still ticks — it doubles as the decode count,
+        // comparable across cache-off and cache-on runs.
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (0, 1));
+        assert_eq!(c.resident(), 0);
+    }
+
+    #[test]
+    fn hit_after_insert_and_typed_miss() {
+        let c = NodeCache::new(8);
+        let id = PageId(3);
+        c.insert(id, 0, arc(42));
+        assert_eq!(*c.get_as::<u32>(id).unwrap(), 42);
+        // Wrong type counts a miss, not a hit.
+        assert!(c.get_as::<String>(id).is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn invalidate_bumps_epoch_and_drops_entry() {
+        let c = NodeCache::new(8);
+        let id = PageId(9);
+        assert_eq!(c.epoch(id), 0);
+        c.insert(id, 0, arc(1));
+        c.invalidate(id);
+        assert_eq!(c.epoch(id), 1);
+        assert!(c.get_as::<u32>(id).is_none(), "entry dropped on rewrite");
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn stale_epoch_insert_is_discarded() {
+        let c = NodeCache::new(8);
+        let id = PageId(5);
+        let observed = c.epoch(id);
+        c.invalidate(id); // concurrent rewrite between snapshot and insert
+        c.insert(id, observed, arc(1));
+        assert!(
+            c.get_as::<u32>(id).is_none(),
+            "insert tagged with a superseded epoch must not publish"
+        );
+        // An insert at the *current* epoch publishes fine.
+        c.insert(id, c.epoch(id), arc(2));
+        assert_eq!(*c.get_as::<u32>(id).unwrap(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_bounds_entries() {
+        let c = NodeCache::new(2);
+        c.insert(PageId(1), 0, arc(1));
+        c.insert(PageId(2), 0, arc(2));
+        c.get_as::<u32>(PageId(1)); // 1 is now MRU
+        c.insert(PageId(3), 0, arc(3));
+        assert_eq!(c.resident(), 2);
+        assert!(c.get_as::<u32>(PageId(2)).is_none(), "LRU entry evicted");
+        assert!(c.get_as::<u32>(PageId(1)).is_some());
+        assert!(c.get_as::<u32>(PageId(3)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn hit_rate_reports() {
+        let c = NodeCache::new(4);
+        assert_eq!(c.stats().hit_rate(), 0.0);
+        c.insert(PageId(1), 0, arc(1));
+        c.get_as::<u32>(PageId(1));
+        c.get_as::<u32>(PageId(2));
+        let s = c.stats();
+        assert_eq!(s.lookups(), 2);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        c.reset_stats();
+        assert_eq!(c.stats(), NodeCacheStats::default());
+    }
+}

@@ -22,6 +22,7 @@
 //! injects scripted crashes, transient I/O errors, and bit flips below the
 //! checksum layer for crash-matrix testing.
 
+mod cache;
 mod checksum;
 mod codec;
 mod crc;
@@ -32,6 +33,7 @@ mod govern;
 mod pool;
 mod storage;
 
+pub use cache::{CachedNode, NodeCache, NodeCacheStats};
 pub use checksum::{ChecksumStorage, DurableStorage};
 pub use codec::{ByteReader, ByteWriter};
 pub use crc::crc32;

@@ -13,10 +13,12 @@
 //! experiments depend on that determinism. Large pools trade exact LRU
 //! for per-shard LRU to cut contention.
 
+use crate::cache::{NodeCache, NodeCacheStats};
 use crate::{PageError, PageId, PageResult, QueryContext, Storage};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
 
 /// Pools at least this large split their frame table into
 /// `NUM_SHARDS` shards; smaller pools keep one shard and exact LRU.
@@ -193,11 +195,21 @@ pub struct BufferPool<S: Storage> {
     capacity: usize,
     page_size: usize,
     stats: AtomicIoStats,
+    node_cache: NodeCache,
 }
 
 impl<S: Storage> BufferPool<S> {
-    /// Wraps `storage` with a pool holding up to `capacity` pages.
+    /// Wraps `storage` with a pool holding up to `capacity` pages and no
+    /// decoded-node cache (see
+    /// [`with_node_cache`](Self::with_node_cache)).
     pub fn new(storage: S, capacity: usize) -> Self {
+        Self::with_node_cache(storage, capacity, 0)
+    }
+
+    /// Wraps `storage` with a pool holding up to `capacity` pages plus a
+    /// [`NodeCache`] bounded to `cache_entries` decoded nodes
+    /// (`0` disables it; queries then decode on every visit).
+    pub fn with_node_cache(storage: S, capacity: usize, cache_entries: usize) -> Self {
         let page_size = storage.page_size();
         let n = if capacity < SHARDING_THRESHOLD {
             1
@@ -221,6 +233,7 @@ impl<S: Storage> BufferPool<S> {
             capacity,
             page_size,
             stats: AtomicIoStats::default(),
+            node_cache: NodeCache::new(cache_entries),
         }
     }
 
@@ -270,7 +283,7 @@ impl<S: Storage> BufferPool<S> {
         self.storage.write().allocate()
     }
 
-    /// Frees a page, dropping any cached frame.
+    /// Frees a page, dropping any cached frame and decoded node.
     ///
     /// Freeing a page that is still pinned fails with
     /// [`PageError::Pinned`] and leaves both the frame and the backing
@@ -283,6 +296,10 @@ impl<S: Storage> BufferPool<S> {
             }
             shard.frames.remove(&id);
         }
+        // Evict the decoded form while the frame shard lock is held, so
+        // a concurrent decode racing the free inserts (if at all) under
+        // a superseded epoch and is discarded.
+        self.node_cache.invalidate(id);
         // Shard lock is still held so no concurrent read can fault the
         // page back in between the frame drop and the storage free.
         self.storage.write().free(id)
@@ -312,7 +329,18 @@ impl<S: Storage> BufferPool<S> {
         }
     }
 
-    fn read_impl(&self, id: PageId, seq: bool, io: &mut IoStats) -> PageResult<Vec<u8>> {
+    /// Core read path: accounts the access, locates the page bytes
+    /// (frame hit, or physical read + frame insert), and runs `f` on
+    /// them *in place*. On a frame hit `f` sees the resident frame's
+    /// bytes borrowed under the shard lock — no payload copy — so `f`
+    /// must be cheap-ish and must not re-enter this pool.
+    fn read_with_impl<R>(
+        &self,
+        id: PageId,
+        seq: bool,
+        io: &mut IoStats,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> PageResult<R> {
         if seq {
             io.seq_reads += 1;
             self.stats.seq_reads.fetch_add(1, Relaxed);
@@ -326,20 +354,21 @@ impl<S: Storage> BufferPool<S> {
             self.stats.physical_reads.fetch_add(1, Relaxed);
             let mut buf = vec![0u8; self.page_size];
             self.physical_read(id, &mut buf, io)?;
-            return Ok(buf);
+            return Ok(f(&buf));
         }
         let mut shard = self.shard(id).lock();
         let tick = shard.next_tick();
-        if let Some(f) = shard.frames.get_mut(&id) {
+        if let Some(frame) = shard.frames.get_mut(&id) {
             io.hits += 1;
             self.stats.hits.fetch_add(1, Relaxed);
-            f.last_used = tick;
-            return Ok(f.data.to_vec());
+            frame.last_used = tick;
+            return Ok(f(&frame.data));
         }
         io.physical_reads += 1;
         self.stats.physical_reads.fetch_add(1, Relaxed);
         let mut buf = vec![0u8; self.page_size];
         self.physical_read(id, &mut buf, io)?;
+        let out = f(&buf);
         // Make room *before* inserting so the just-faulted frame can never
         // be picked as its own eviction victim.
         let target = shard.capacity.saturating_sub(1);
@@ -347,18 +376,49 @@ impl<S: Storage> BufferPool<S> {
         shard.frames.insert(
             id,
             Frame {
-                data: buf.clone().into_boxed_slice(),
+                data: buf.into_boxed_slice(),
                 dirty: false,
                 pins: 0,
                 last_used: tick,
             },
         );
-        Ok(buf)
+        Ok(out)
+    }
+
+    fn read_impl(&self, id: PageId, seq: bool, io: &mut IoStats) -> PageResult<Vec<u8>> {
+        self.read_with_impl(id, seq, io, <[u8]>::to_vec)
     }
 
     /// Reads a page (counted as one random access).
     pub fn read(&self, id: PageId) -> PageResult<Vec<u8>> {
         self.read_tracked(id, &mut IoStats::default())
+    }
+
+    /// Reads a page and runs `f` on its bytes in place, attributing the
+    /// access to `io`. On a pool hit `f` borrows the resident frame
+    /// under the shard lock instead of copying the payload out first —
+    /// this is the decode-from-the-guard path node reads use. `f` must
+    /// not call back into this pool (the shard lock is held).
+    pub fn read_tracked_with<R>(
+        &self,
+        id: PageId,
+        io: &mut IoStats,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> PageResult<R> {
+        self.read_with_impl(id, false, io, f)
+    }
+
+    /// Governed variant of [`read_tracked_with`](Self::read_tracked_with)
+    /// (admission as in [`read_tracked_ctx`](Self::read_tracked_ctx)).
+    pub fn read_tracked_ctx_with<R>(
+        &self,
+        id: PageId,
+        io: &mut IoStats,
+        ctx: &QueryContext,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> PageResult<R> {
+        ctx.admit_read(io).map_err(PageError::Interrupted)?;
+        self.read_with_impl(id, false, io, f)
     }
 
     /// Reads a page, attributing the access to `io` as well as to the
@@ -408,6 +468,124 @@ impl<S: Storage> BufferPool<S> {
         self.read_impl(id, true, io)
     }
 
+    /// The decoded-node cache attached to this pool (disabled unless the
+    /// pool was built with [`with_node_cache`](Self::with_node_cache)).
+    pub fn node_cache(&self) -> &NodeCache {
+        &self.node_cache
+    }
+
+    /// Decoded-node cache counters (misses = decode invocations).
+    pub fn node_cache_stats(&self) -> NodeCacheStats {
+        self.node_cache.stats()
+    }
+
+    /// Accounts one page access served from the decoded-node cache: the
+    /// query still requested the page, so `logical_reads` (or
+    /// `seq_reads`) and `hits` tick exactly as for a frame hit — the
+    /// paper's cost model counts node visits, not decodes, and
+    /// governance budgets keep their page-fetch granularity.
+    fn account_cached(&self, seq: bool, io: &mut IoStats) {
+        if seq {
+            io.seq_reads += 1;
+            self.stats.seq_reads.fetch_add(1, Relaxed);
+        } else {
+            io.logical_reads += 1;
+            self.stats.logical_reads.fetch_add(1, Relaxed);
+        }
+        io.hits += 1;
+        self.stats.hits.fetch_add(1, Relaxed);
+    }
+
+    fn read_decoded_impl<T, E, F>(
+        &self,
+        id: PageId,
+        seq: bool,
+        io: &mut IoStats,
+        decode: F,
+    ) -> Result<Arc<T>, E>
+    where
+        T: Send + Sync + 'static,
+        E: From<PageError>,
+        F: FnOnce(&[u8]) -> Result<T, E>,
+    {
+        // With the cache disabled all three cache calls below are cheap
+        // no-ops, except that the lookup still ticks the miss counter —
+        // keeping `misses` == decode count in both cache modes.
+        if let Some(node) = self.node_cache.get_as::<T>(id) {
+            self.account_cached(seq, io);
+            return Ok(node);
+        }
+        // Snapshot the page epoch *before* touching the bytes: if a
+        // writer intervenes, the insert below carries a superseded
+        // epoch and the cache discards it.
+        let epoch = self.node_cache.epoch(id);
+        let node = self
+            .read_with_impl(id, seq, io, decode)
+            .map_err(E::from)??;
+        let node = Arc::new(node);
+        self.node_cache.insert(id, epoch, node.clone());
+        Ok(node)
+    }
+
+    /// Reads a page and returns its *decoded* form, shared behind an
+    /// `Arc`. With the decoded-node cache enabled a repeat visit skips
+    /// `decode` entirely (while still accounting the logical read);
+    /// otherwise this is `read_tracked_with` + `decode` with no payload
+    /// copy. `decode` must not call back into this pool.
+    pub fn read_decoded_tracked<T, E, F>(
+        &self,
+        id: PageId,
+        io: &mut IoStats,
+        decode: F,
+    ) -> Result<Arc<T>, E>
+    where
+        T: Send + Sync + 'static,
+        E: From<PageError>,
+        F: FnOnce(&[u8]) -> Result<T, E>,
+    {
+        self.read_decoded_impl(id, false, io, decode)
+    }
+
+    /// Governed variant of
+    /// [`read_decoded_tracked`](Self::read_decoded_tracked); admission
+    /// is charged even when the decoded node is served from cache, so a
+    /// read budget bounds cache-hit traversals exactly like cold ones.
+    pub fn read_decoded_ctx<T, E, F>(
+        &self,
+        id: PageId,
+        io: &mut IoStats,
+        ctx: &QueryContext,
+        decode: F,
+    ) -> Result<Arc<T>, E>
+    where
+        T: Send + Sync + 'static,
+        E: From<PageError>,
+        F: FnOnce(&[u8]) -> Result<T, E>,
+    {
+        ctx.admit_read(io)
+            .map_err(|i| E::from(PageError::Interrupted(i)))?;
+        self.read_decoded_impl(id, false, io, decode)
+    }
+
+    /// Governed sequential-path decoded read (the linear-scan baseline's
+    /// analogue of [`read_decoded_ctx`](Self::read_decoded_ctx)).
+    pub fn read_decoded_sequential_ctx<T, E, F>(
+        &self,
+        id: PageId,
+        io: &mut IoStats,
+        ctx: &QueryContext,
+        decode: F,
+    ) -> Result<Arc<T>, E>
+    where
+        T: Send + Sync + 'static,
+        E: From<PageError>,
+        F: FnOnce(&[u8]) -> Result<T, E>,
+    {
+        ctx.admit_read(io)
+            .map_err(|i| E::from(PageError::Interrupted(i)))?;
+        self.read_decoded_impl(id, true, io, decode)
+    }
+
     /// Writes page contents (write-back; flushed on eviction or
     /// [`flush_all`](Self::flush_all)).
     pub fn write(&self, id: PageId, data: &[u8]) -> PageResult<()> {
@@ -420,7 +598,13 @@ impl<S: Storage> BufferPool<S> {
         self.stats.logical_writes.fetch_add(1, Relaxed);
         if self.capacity == 0 {
             self.stats.physical_writes.fetch_add(1, Relaxed);
-            return self.storage.write().write(id, data);
+            let res = self.storage.write().write(id, data);
+            // The rewrite supersedes any decoded form. Invalidating
+            // *after* the bytes land means a decode that raced us either
+            // snapshotted the old epoch (its insert is discarded) or
+            // gets dropped right here — never published stale.
+            self.node_cache.invalidate(id);
+            return res;
         }
         let mut page = vec![0u8; self.page_size];
         page[..data.len()].copy_from_slice(data);
@@ -446,6 +630,10 @@ impl<S: Storage> BufferPool<S> {
                 );
             }
         }
+        // Invalidate the decoded form under the frame shard lock, i.e.
+        // strictly after the new bytes are visible: a racing decode of
+        // the old bytes carries a pre-bump epoch and cannot publish.
+        self.node_cache.invalidate(id);
         Ok(())
     }
 
@@ -817,6 +1005,78 @@ mod tests {
         assert_eq!(s.logical_reads, 64);
         assert_eq!(s.hits, 64, "everything fits; all reads hit");
         assert_eq!(p.resident_frames(), 64);
+    }
+
+    /// Toy "decoded node": the page's first byte, annotated.
+    fn decode_first(bytes: &[u8]) -> PageResult<u8> {
+        Ok(bytes[0])
+    }
+
+    #[test]
+    fn decoded_reads_hit_cache_and_still_account() {
+        let p = BufferPool::with_node_cache(MemStorage::with_page_size(128), 4, 8);
+        let a = p.allocate().unwrap();
+        p.write(a, &[7]).unwrap();
+        let mut io = IoStats::default();
+        let n1: Arc<u8> = p.read_decoded_tracked(a, &mut io, decode_first).unwrap();
+        let n2: Arc<u8> = p.read_decoded_tracked(a, &mut io, decode_first).unwrap();
+        assert_eq!((*n1, *n2), (7, 7));
+        assert!(Arc::ptr_eq(&n1, &n2), "second visit shares the decode");
+        let c = p.node_cache_stats();
+        assert_eq!((c.hits, c.misses), (1, 1), "one decode, one cache hit");
+        // Logical accounting is unchanged by the cache: both visits count.
+        assert_eq!(io.logical_reads, 2);
+        assert_eq!(io.hits, 2, "frame hit + decoded-cache hit");
+        assert_eq!(p.stats().logical_reads, 2);
+    }
+
+    #[test]
+    fn decoded_cache_invalidated_by_write_and_free() {
+        let p = BufferPool::with_node_cache(MemStorage::with_page_size(128), 4, 8);
+        let a = p.allocate().unwrap();
+        p.write(a, &[1]).unwrap();
+        let mut io = IoStats::default();
+        let n: Arc<u8> = p.read_decoded_tracked(a, &mut io, decode_first).unwrap();
+        assert_eq!(*n, 1);
+        p.write(a, &[2]).unwrap();
+        let n: Arc<u8> = p.read_decoded_tracked(a, &mut io, decode_first).unwrap();
+        assert_eq!(*n, 2, "rewrite evicts the decoded form");
+        p.free(a).unwrap();
+        assert!(!p.node_cache().contains(a), "free evicts the decoded form");
+    }
+
+    #[test]
+    fn decoded_read_respects_read_budget_on_hits() {
+        let p = BufferPool::with_node_cache(MemStorage::with_page_size(128), 4, 8);
+        let a = p.allocate().unwrap();
+        p.write(a, &[9]).unwrap();
+        let ctx = QueryContext::default().with_max_reads(2);
+        let mut io = IoStats::default();
+        for _ in 0..2 {
+            let n: Result<Arc<u8>, PageError> = p.read_decoded_ctx(a, &mut io, &ctx, decode_first);
+            assert_eq!(*n.unwrap(), 9);
+        }
+        // Third visit would be a cache hit, but the budget still governs.
+        let denied: Result<Arc<u8>, PageError> = p.read_decoded_ctx(a, &mut io, &ctx, decode_first);
+        assert!(matches!(
+            denied,
+            Err(PageError::Interrupted(crate::Interrupt::BudgetExhausted))
+        ));
+    }
+
+    #[test]
+    fn read_with_decodes_from_borrowed_frame() {
+        let p = pool(4);
+        let a = p.allocate().unwrap();
+        p.write(a, b"guard").unwrap();
+        let mut io = IoStats::default();
+        let len = p
+            .read_tracked_with(a, &mut io, |bytes| {
+                bytes.iter().filter(|&&b| b != 0).count()
+            })
+            .unwrap();
+        assert_eq!(len, 5);
+        assert_eq!(io.hits, 1, "served from the resident frame in place");
     }
 
     #[test]

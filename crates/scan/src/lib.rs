@@ -7,12 +7,14 @@
 //! by reading the whole file through the buffer pool's *sequential* path,
 //! which the paper's cost model discounts 10x relative to random accesses.
 
-use hyt_geom::{Metric, Point, Rect};
+use hyt_geom::{range_bound_sq, Metric, Point, Rect};
 use hyt_index::{
     apply_result_cap, check_dim, settle_interrupt, DegradeReason, IndexResult, MultidimIndex,
     QueryContext, QueryOutcome, StructureStats,
 };
-use hyt_page::{BufferPool, ByteReader, ByteWriter, IoStats, MemStorage, PageId, Storage};
+use hyt_page::{
+    BufferPool, ByteReader, ByteWriter, IoStats, MemStorage, NodeCacheStats, PageId, Storage,
+};
 
 /// Entries per page given the page and entry sizes.
 fn capacity(page_size: usize, dim: usize) -> usize {
@@ -41,11 +43,34 @@ impl SeqScan<MemStorage> {
         let storage = MemStorage::with_page_size(page_size);
         Self::with_storage(dim, storage)
     }
+
+    /// Creates an empty scan file with a custom page size and a
+    /// decoded-page cache of `node_cache_entries` entries (0 disables).
+    pub fn with_page_size_and_cache(
+        dim: usize,
+        page_size: usize,
+        node_cache_entries: usize,
+    ) -> IndexResult<Self> {
+        let storage = MemStorage::with_page_size(page_size);
+        Self::with_storage_and_cache(dim, storage, node_cache_entries)
+    }
 }
 
 impl<S: Storage> SeqScan<S> {
     /// Creates an empty scan file over the given store.
     pub fn with_storage(dim: usize, storage: S) -> IndexResult<Self> {
+        Self::with_storage_and_cache(dim, storage, 0)
+    }
+
+    /// Creates an empty scan file with a decoded-page cache of
+    /// `node_cache_entries` entries (0 disables it). The cache changes
+    /// only the number of page-decode invocations — never query results
+    /// or the sequential I/O accounting.
+    pub fn with_storage_and_cache(
+        dim: usize,
+        storage: S,
+        node_cache_entries: usize,
+    ) -> IndexResult<Self> {
         let cap = capacity(storage.page_size(), dim);
         if cap == 0 {
             return Err(hyt_index::IndexError::Internal(format!(
@@ -54,7 +79,7 @@ impl<S: Storage> SeqScan<S> {
             )));
         }
         Ok(Self {
-            pool: BufferPool::new(storage, 0),
+            pool: BufferPool::with_node_cache(storage, 0, node_cache_entries),
             pages: Vec::new(),
             dim,
             len: 0,
@@ -118,8 +143,9 @@ impl<S: Storage> SeqScan<S> {
     {
         let last = self.pages.len().saturating_sub(1);
         for (i, &pid) in self.pages.iter().enumerate() {
-            let buf = self.pool.read_sequential_tracked_ctx(pid, io, ctx)?;
-            let entries = self.decode_page(&buf)?;
+            let entries = self
+                .pool
+                .read_decoded_sequential_ctx(pid, io, ctx, |buf| self.decode_page(buf))?;
             if visit(&entries, i < last) {
                 return Ok(());
             }
@@ -227,16 +253,18 @@ impl<S: Storage> MultidimIndex for SeqScan<S> {
         ctx: &QueryContext,
     ) -> IndexResult<(QueryOutcome<Vec<u64>>, IoStats)> {
         check_dim(self.dim, q.dim())?;
+        let bound_sq = range_bound_sq(metric, radius);
         let mut out = Vec::new();
         let mut io = IoStats::default();
         let mut capped = false;
         let walk = self.scan_pages_ctx(&mut io, ctx, |entries, more| {
-            out.extend(
-                entries
-                    .iter()
-                    .filter(|(p, _)| metric.distance(q, p) <= radius)
-                    .map(|(_, oid)| *oid),
-            );
+            for (p, oid) in entries {
+                if let Some(c) = metric.distance_sq_within(q, p, bound_sq) {
+                    if metric.distance_from_sq(c) <= radius {
+                        out.push(*oid);
+                    }
+                }
+            }
             capped = apply_result_cap(ctx, &mut out, more);
             capped
         });
@@ -266,15 +294,22 @@ impl<S: Storage> MultidimIndex for SeqScan<S> {
         if k == 0 {
             return Ok((QueryOutcome::Complete(Vec::new()), io));
         }
+        // Comparator-space candidates; sorting by squared distance gives
+        // the same order as by distance (sqrt is monotone), with oid
+        // tie-breaks applied in the same space.
         let mut hits: Vec<(u64, f64)> = Vec::new();
         let walk = self.scan_pages_ctx(&mut io, ctx, |entries, _| {
             for (p, oid) in entries {
-                hits.push((*oid, metric.distance(q, p)));
+                hits.push((*oid, metric.distance_sq(q, p)));
             }
             false
         });
         hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         hits.truncate(k);
+        let hits: Vec<(u64, f64)> = hits
+            .into_iter()
+            .map(|(oid, c)| (oid, metric.distance_from_sq(c)))
+            .collect();
         if let Err(e) = walk {
             // Best candidates from the pages scanned so far — a scan kNN
             // has no distance bound until the file is exhausted.
@@ -295,6 +330,11 @@ impl<S: Storage> MultidimIndex for SeqScan<S> {
 
     fn reset_io_stats(&self) {
         self.pool.reset_stats();
+        self.pool.node_cache().reset_stats();
+    }
+
+    fn cache_stats(&self) -> NodeCacheStats {
+        self.pool.node_cache_stats()
     }
 
     fn structure_stats(&self) -> IndexResult<StructureStats> {

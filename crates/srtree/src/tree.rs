@@ -1,14 +1,17 @@
 //! SR-tree operations.
 
 use crate::node::{data_capacity, index_capacity, ChildEntry, SrNode};
-use hyt_geom::{Metric, Point, Rect, L2};
+use hyt_geom::{range_bound_sq, Metric, Point, Rect, L2};
 use hyt_index::{
     apply_result_cap, check_dim, settle_interrupt, DegradeReason, IndexError, IndexResult,
     MultidimIndex, QueryContext, QueryOutcome, StructureStats,
 };
-use hyt_page::{BufferPool, IoStats, MemStorage, PageId, Storage, DEFAULT_PAGE_SIZE};
+use hyt_page::{
+    BufferPool, IoStats, MemStorage, NodeCacheStats, PageId, Storage, DEFAULT_PAGE_SIZE,
+};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Construction parameters of an [`SrTree`].
 #[derive(Clone, Debug)]
@@ -19,6 +22,10 @@ pub struct SrTreeConfig {
     pub min_fill: f64,
     /// Buffer-pool capacity in pages (0 = cold-cache accounting).
     pub pool_pages: usize,
+    /// Decoded-node cache capacity in entries; 0 (the default) disables
+    /// it. Enabling it never changes query results or logical I/O
+    /// accounting, only the number of `SrNode::decode` invocations.
+    pub node_cache_entries: usize,
 }
 
 impl Default for SrTreeConfig {
@@ -27,6 +34,7 @@ impl Default for SrTreeConfig {
             page_size: DEFAULT_PAGE_SIZE,
             min_fill: 0.4,
             pool_pages: 0,
+            node_cache_entries: 0,
         }
     }
 }
@@ -85,7 +93,7 @@ impl<S: Storage> SrTree<S> {
         }
         let data_min = ((cfg.min_fill * data_cap as f64).floor() as usize).max(1);
         let index_min = ((cfg.min_fill * index_cap as f64).floor() as usize).max(1);
-        let pool = BufferPool::new(storage, cfg.pool_pages);
+        let pool = BufferPool::with_node_cache(storage, cfg.pool_pages, cfg.node_cache_entries);
         let root = pool.allocate()?;
         pool.write(root, &SrNode::Data(Vec::new()).encode(dim))?;
         Ok(Self {
@@ -113,8 +121,10 @@ impl<S: Storage> SrTree<S> {
     }
 
     fn read_node(&self, pid: PageId) -> IndexResult<SrNode> {
-        let buf = self.pool.read(pid)?;
-        Ok(SrNode::decode(&buf, self.dim)?)
+        let mut io = IoStats::default();
+        Ok(self
+            .pool
+            .read_tracked_with(pid, &mut io, |buf| SrNode::decode(buf, self.dim))??)
     }
 
     fn read_node_ctx(
@@ -122,9 +132,9 @@ impl<S: Storage> SrTree<S> {
         pid: PageId,
         io: &mut IoStats,
         ctx: &QueryContext,
-    ) -> IndexResult<SrNode> {
-        let buf = self.pool.read_tracked_ctx(pid, io, ctx)?;
-        Ok(SrNode::decode(&buf, self.dim)?)
+    ) -> IndexResult<Arc<SrNode>> {
+        self.pool
+            .read_decoded_ctx(pid, io, ctx, |buf| Ok(SrNode::decode(buf, self.dim)?))
     }
 
     fn write_node(&mut self, pid: PageId, node: &SrNode) -> IndexResult<()> {
@@ -393,11 +403,15 @@ impl<S: Storage> SrTree<S> {
         Ok(())
     }
 
-    /// Lower bound on the distance from `q` to anything inside the entry's
-    /// region (sphere ∩ rectangle): the max of the two bounds.
-    fn min_dist_entry(&self, q: &Point, e: &ChildEntry, metric: &dyn Metric) -> f64 {
-        let rect = metric.min_dist_rect(q, &e.rect);
-        let sphere = metric.min_dist_sphere(q, &e.centroid, f64::from(e.radius));
+    /// Comparator-space lower bound on the distance from `q` to anything
+    /// inside the entry's region (sphere ∩ rectangle): the max of the
+    /// rectangle bound (computed natively in comparator space) and the
+    /// sphere bound (actual-space, pushed through
+    /// [`Metric::distance_to_sq`] — monotone, so the max is preserved).
+    fn min_dist_entry_sq(&self, q: &Point, e: &ChildEntry, metric: &dyn Metric) -> f64 {
+        let rect = metric.min_dist_rect_sq(q, &e.rect);
+        let sphere =
+            metric.distance_to_sq(metric.min_dist_sphere(q, &e.centroid, f64::from(e.radius)));
         rect.max(sphere)
     }
 }
@@ -492,6 +506,7 @@ fn best_variance_split(vals: &[f64], m: usize) -> usize {
     best_j
 }
 
+/// Best-first queue entry; `dist` is in comparator (squared) space.
 struct PqNode {
     dist: f64,
     pid: PageId,
@@ -516,6 +531,7 @@ impl Ord for PqNode {
     }
 }
 
+/// Best-k max-heap entry; `dist` is in comparator (squared) space.
 struct HeapHit {
     dist: f64,
     oid: u64,
@@ -541,9 +557,13 @@ impl Ord for HeapHit {
 
 /// Drains a kNN candidate heap into `(oid, dist)` pairs sorted by
 /// ascending distance (ties by oid); also the best-so-far payload of an
-/// interrupted query.
-fn sorted_hits(best: BinaryHeap<HeapHit>) -> Vec<(u64, f64)> {
-    let mut hits: Vec<(u64, f64)> = best.into_iter().map(|h| (h.oid, h.dist)).collect();
+/// interrupted query. Converts comparator-space values back to actual
+/// distances — the single per-result root of the hot path.
+fn sorted_hits(best: BinaryHeap<HeapHit>, metric: &dyn Metric) -> Vec<(u64, f64)> {
+    let mut hits: Vec<(u64, f64)> = best
+        .into_iter()
+        .map(|h| (h.oid, metric.distance_from_sq(h.dist)))
+        .collect();
     hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     hits
 }
@@ -610,9 +630,12 @@ impl<S: Storage> MultidimIndex for SrTree<S> {
         let mut out = Vec::new();
         let mut stack = vec![self.root];
         while let Some(pid) = stack.pop() {
-            match self.read_node_ctx(pid, &mut io, ctx) {
+            let node = match self.read_node_ctx(pid, &mut io, ctx) {
                 Err(e) => return settle_interrupt(e, out, io),
-                Ok(SrNode::Data(entries)) => {
+                Ok(node) => node,
+            };
+            match &*node {
+                SrNode::Data(entries) => {
                     out.extend(
                         entries
                             .iter()
@@ -626,7 +649,7 @@ impl<S: Storage> MultidimIndex for SrTree<S> {
                         ));
                     }
                 }
-                Ok(SrNode::Index { entries, .. }) => {
+                SrNode::Index { entries, .. } => {
                     stack.extend(
                         entries
                             .iter()
@@ -651,18 +674,23 @@ impl<S: Storage> MultidimIndex for SrTree<S> {
         if self.len == 0 {
             return Ok((QueryOutcome::Complete(Vec::new()), io));
         }
+        let bound_sq = range_bound_sq(metric, radius);
         let mut out = Vec::new();
         let mut stack = vec![self.root];
         while let Some(pid) = stack.pop() {
-            match self.read_node_ctx(pid, &mut io, ctx) {
+            let node = match self.read_node_ctx(pid, &mut io, ctx) {
                 Err(e) => return settle_interrupt(e, out, io),
-                Ok(SrNode::Data(entries)) => {
-                    out.extend(
-                        entries
-                            .iter()
-                            .filter(|(p, _)| metric.distance(q, p) <= radius)
-                            .map(|(_, oid)| *oid),
-                    );
+                Ok(node) => node,
+            };
+            match &*node {
+                SrNode::Data(entries) => {
+                    for (p, oid) in entries {
+                        if let Some(c) = metric.distance_sq_within(q, p, bound_sq) {
+                            if metric.distance_from_sq(c) <= radius {
+                                out.push(*oid);
+                            }
+                        }
+                    }
                     if apply_result_cap(ctx, &mut out, !stack.is_empty()) {
                         return Ok((
                             QueryOutcome::degraded(out, DegradeReason::BudgetExhausted),
@@ -670,9 +698,9 @@ impl<S: Storage> MultidimIndex for SrTree<S> {
                         ));
                     }
                 }
-                Ok(SrNode::Index { entries, .. }) => {
-                    for e in &entries {
-                        if self.min_dist_entry(q, e, metric) <= radius {
+                SrNode::Index { entries, .. } => {
+                    for e in entries {
+                        if self.min_dist_entry_sq(q, e, metric) <= bound_sq {
                             stack.push(e.pid);
                         }
                     }
@@ -706,25 +734,34 @@ impl<S: Storage> MultidimIndex for SrTree<S> {
             if best.len() == k && item.dist > best.peek().unwrap().dist {
                 break;
             }
-            match self.read_node_ctx(item.pid, &mut io, ctx) {
-                Err(e) => return settle_interrupt(e, sorted_hits(best), io),
-                Ok(SrNode::Data(entries)) => {
+            let node = match self.read_node_ctx(item.pid, &mut io, ctx) {
+                Err(e) => return settle_interrupt(e, sorted_hits(best, metric), io),
+                Ok(node) => node,
+            };
+            match &*node {
+                SrNode::Data(entries) => {
                     for (p, oid) in entries {
-                        let d = metric.distance(q, &p);
-                        if best.len() < k {
-                            best.push(HeapHit { dist: d, oid });
-                        } else if d < best.peek().unwrap().dist {
-                            best.pop();
-                            best.push(HeapHit { dist: d, oid });
+                        let worst = if best.len() < k {
+                            f64::INFINITY
+                        } else {
+                            best.peek().unwrap().dist
+                        };
+                        if let Some(c) = metric.distance_sq_within(q, p, worst) {
+                            if best.len() < k {
+                                best.push(HeapHit { dist: c, oid: *oid });
+                            } else if c < best.peek().unwrap().dist {
+                                best.pop();
+                                best.push(HeapHit { dist: c, oid: *oid });
+                            }
                         }
                     }
                 }
-                Ok(SrNode::Index { entries, .. }) => {
-                    for e in &entries {
-                        let d = self.min_dist_entry(q, e, metric);
-                        if best.len() < k || d <= best.peek().unwrap().dist {
+                SrNode::Index { entries, .. } => {
+                    for e in entries {
+                        let c = self.min_dist_entry_sq(q, e, metric);
+                        if best.len() < k || c <= best.peek().unwrap().dist {
                             pq.push(PqNode {
-                                dist: d,
+                                dist: c,
                                 pid: e.pid,
                             });
                         }
@@ -732,7 +769,7 @@ impl<S: Storage> MultidimIndex for SrTree<S> {
                 }
             }
         }
-        let hits = sorted_hits(best);
+        let hits = sorted_hits(best, metric);
         if clamped {
             return Ok((
                 QueryOutcome::degraded(hits, DegradeReason::BudgetExhausted),
@@ -748,6 +785,11 @@ impl<S: Storage> MultidimIndex for SrTree<S> {
 
     fn reset_io_stats(&self) {
         self.pool.reset_stats();
+        self.pool.node_cache().reset_stats();
+    }
+
+    fn cache_stats(&self) -> NodeCacheStats {
+        self.pool.node_cache_stats()
     }
 
     fn structure_stats(&self) -> IndexResult<StructureStats> {

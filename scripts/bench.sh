@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Perf-trajectory benchmark: regenerates BENCH_pr4.json at the repo root.
+#
+# Runs every engine over a warm repeated mixed workload with the decoded-
+# node cache off and on, asserts the answers bit-identical, and records
+# per-engine p50/p95 query latency, Node::decode invocation counts, and
+# cache hit rate. The acceptance metric is the decode-count reduction
+# (>= 2x warm); wall-clock percentiles are advisory on shared CI hosts.
+#
+#   HYT_SCALE=paper ./scripts/bench.sh     # full-size datasets
+#   HYT_QUERIES=64  ./scripts/bench.sh     # override query count
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== pr4 decode/latency trajectory -> BENCH_pr4.json"
+cargo bench -p hyt-bench --bench pr4
+
+echo "== wrote $(pwd)/BENCH_pr4.json"

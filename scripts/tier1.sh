@@ -25,4 +25,7 @@ timeout 120 cargo test -q --test chaos_queries
 echo "== cargo doc (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
+echo "== bench smoke (criterion micro benches, shortened sampling)"
+HYT_BENCH_MS=200 cargo bench -p hyt-bench --bench micro
+
 echo "tier-1 green"

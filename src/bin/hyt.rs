@@ -43,22 +43,26 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   hyt generate --kind colhist|fourier|uniform --n N --dim D [--seed S] --out FILE
   hyt build    --input FILE --index PAGES --meta META [--page-size 4096]
-               [--els-bits 4] [--bulk]
-  hyt stats    --index PAGES --meta META
+               [--els-bits 4] [--bulk] [--node-cache-entries 0]
+  hyt stats    --index PAGES --meta META [--node-cache-entries N]
   hyt knn      --index PAGES --meta META --query V [--k 10] [--metric l2]
-               [--timeout-ms T] [--max-reads N]
+               [--timeout-ms T] [--max-reads N] [--node-cache-entries N]
   hyt range    --index PAGES --meta META --query V --radius R [--metric l2]
-               [--timeout-ms T] [--max-reads N]
+               [--timeout-ms T] [--max-reads N] [--node-cache-entries N]
   hyt box      --index PAGES --meta META --lo V --hi V
-               [--timeout-ms T] [--max-reads N]
+               [--timeout-ms T] [--max-reads N] [--node-cache-entries N]
   hyt batch    --index PAGES --meta META --queries FILE [--threads N] [--metric l2]
                [--timeout-ms T] [--max-reads N] [--max-inflight N]
+               [--node-cache-entries N]
   hyt scrub    --index PAGES [--meta META] [--page-size 4096]
 metrics: l1, l2, linf, lp:<p>     V: comma-separated f32 coordinates
 batch file: one query per line — `box LO HI` | `range CENTER R` | `knn CENTER K`
 --timeout-ms caps wall time (whole batch for `batch`), --max-reads caps page
 reads per query; a query hitting a limit returns its partial answer, marked
 degraded. --max-inflight bounds concurrent queries; excess queries are shed.
+--node-cache-entries overrides the decoded-node cache size for this process
+(0 disables; decode-per-visit); query results and page-read counts are
+unaffected, only decode work.
 scrub verifies every page checksum (and, with --meta, every tree invariant)
 without loading the index; exits 1 if any corruption is found";
 
@@ -230,12 +234,14 @@ fn build(opts: &HashMap<String, String>) -> Result<(), String> {
     let meta = req(opts, "meta")?;
     let page_size: usize = opt_parse(opts, "page-size", 4096)?;
     let els_bits: u8 = opt_parse(opts, "els-bits", 4)?;
+    let node_cache_entries: usize = opt_parse(opts, "node-cache-entries", 0)?;
     let bulk = opts.contains_key("bulk");
     let data = load_csv(input)?;
     let dim = data[0].dim();
     let cfg = HybridTreeConfig {
         page_size,
         els_bits,
+        node_cache_entries,
         ..HybridTreeConfig::default()
     };
     let start = std::time::Instant::now();
@@ -271,7 +277,25 @@ fn build(opts: &HashMap<String, String>) -> Result<(), String> {
 fn open_tree(opts: &HashMap<String, String>) -> Result<HybridTree<DurableStorage>, String> {
     let index = req(opts, "index")?;
     let meta = req(opts, "meta")?;
-    HybridTree::open(index, meta).map_err(|e| e.to_string())
+    match opts.get("node-cache-entries") {
+        Some(n) => {
+            let entries: usize = n.parse().map_err(|_| "bad --node-cache-entries")?;
+            HybridTree::open_with_node_cache(index, meta, entries)
+        }
+        None => HybridTree::open(index, meta),
+    }
+    .map_err(|e| e.to_string())
+}
+
+/// Renders the decoded-node cache counters for a footer line.
+fn cache_line(tree: &HybridTree<DurableStorage>) -> String {
+    let cs = tree.cache_stats();
+    format!(
+        "{} decoded-cache hits, {} misses ({:.0}% hit rate)",
+        cs.hits,
+        cs.misses,
+        cs.hit_rate() * 100.0
+    )
 }
 
 fn stats(opts: &HashMap<String, String>) -> Result<(), String> {
@@ -295,6 +319,13 @@ fn stats(opts: &HashMap<String, String>) -> Result<(), String> {
     println!(
         "ELS overhead       {} bytes in memory",
         tree.els_overhead_bytes()
+    );
+    let cs = tree.cache_stats();
+    println!(
+        "decoded cache      {} entries capacity — {} hits, {} misses this session",
+        tree.config().node_cache_entries,
+        cs.hits,
+        cs.misses
     );
     Ok(())
 }
@@ -512,6 +543,7 @@ fn batch(opts: &HashMap<String, String>) -> Result<(), String> {
         total.weighted_accesses(),
         answers.len() - degraded - shed,
     );
+    eprintln!("[{}]", cache_line(&tree));
     Ok(())
 }
 

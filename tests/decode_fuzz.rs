@@ -125,7 +125,7 @@ proptest! {
         let mut body: Vec<u8> = raw.iter().map(|&v| v as u8).collect();
         if with_magic == 1 {
             // Force the parser past the magic check into section parsing.
-            let mut m = b"HYTREE02".to_vec();
+            let mut m = b"HYTREE03".to_vec();
             m.extend_from_slice(&body);
             body = m;
         }
