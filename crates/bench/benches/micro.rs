@@ -8,7 +8,7 @@ use hybrid_tree::{bipartition_1d, HybridTree, HybridTreeConfig};
 use hyt_data::{colhist, uniform, BoxWorkload};
 use hyt_eval::{run_batch_parallel, BatchQuery};
 use hyt_geom::{Metric, Point, Rect, L1, L2};
-use hyt_index::MultidimIndex;
+use hyt_index::{MultidimIndex, QueryContext};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -158,6 +158,37 @@ fn bench_decoded_cache(c: &mut Criterion) {
     g.finish();
 }
 
+/// Unified-executor group: pins the refactored kNN hot loop (now the
+/// shared `hyt-exec` best-first driver) against the `query/knn10_l2_16d_20k`
+/// trajectory, and measures the incremental cursor draining the same k —
+/// the executor refactor must not make either slower than the engine-local
+/// loops it replaced.
+fn bench_executor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor");
+    let dim = 16usize;
+    let data = uniform(20_000, dim, 11);
+    let mut tree = HybridTree::new(dim, HybridTreeConfig::default()).unwrap();
+    for (i, p) in data.iter().enumerate() {
+        tree.insert(p.clone(), i as u64).unwrap();
+    }
+    let q = data[42].clone();
+
+    g.bench_function("knn10_l2_16d_20k", |b| {
+        b.iter(|| black_box(tree.knn(&q, 10, &L2).unwrap().len()))
+    });
+    g.bench_function("knn10_cursor_l2_16d_20k", |b| {
+        b.iter(|| {
+            let mut cursor = tree.knn_stream(&q, &L2, QueryContext::unlimited()).unwrap();
+            let mut n = 0usize;
+            while n < 10 && cursor.next().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_metrics,
@@ -165,6 +196,7 @@ criterion_group!(
     bench_insert,
     bench_queries,
     bench_batch,
-    bench_decoded_cache
+    bench_decoded_cache,
+    bench_executor
 );
 criterion_main!(benches);

@@ -228,6 +228,7 @@ impl<S: Storage> HybridTree<S> {
             return Ok(Vec::new());
         }
         let relax = 1.0 + epsilon;
+        let mut io = IoStats::default();
         // Max-heap of current best k (by distance).
         let mut best: BinaryHeap<BestHit> = BinaryHeap::new();
         let mut pq: BinaryHeap<QueueItem> = BinaryHeap::new();
@@ -246,7 +247,8 @@ impl<S: Storage> HybridTree<S> {
             let Payload::Node { pid, region } = item.payload else {
                 unreachable!("approximate search queues nodes only");
             };
-            match self.read_node(pid)? {
+            let node = self.read_node_ctx(pid, &mut io, QueryContext::unlimited())?;
+            match &*node {
                 Node::Data(entries) => {
                     for e in entries {
                         let d = metric.distance(q, &e.point);

@@ -6,17 +6,15 @@ use crate::kdtree::KdTree;
 use crate::node::{data_capacity, DataEntry, Node, INDEX_HEADER_BYTES};
 use crate::split::{build_kd, split_data, split_index};
 use crate::view::NodeView;
-use hyt_geom::range_bound_sq;
+use hyt_exec::{Child, EntrySink, KnnCursor, NearQuery, NodeExpand, NodeKind};
 use hyt_geom::{Coord, Metric, Point, Rect};
 use hyt_index::{
-    apply_result_cap, check_dim, settle_interrupt, DegradeReason, IndexError, IndexResult,
-    MultidimIndex, QueryContext, QueryOutcome, StructureStats,
+    check_dim, IndexError, IndexResult, KnnStream, MultidimIndex, QueryContext, QueryOutcome,
+    StructureStats,
 };
 use hyt_page::{
     BufferPool, IoStats, MemStorage, NodeCacheStats, PageError, PageId, PageResult, Storage,
 };
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// A split propagating up from a child: the child kept the lower half and
@@ -236,7 +234,7 @@ impl<S: Storage> HybridTree<S> {
 
     /// Owned node read for mutation paths: decodes straight from the
     /// borrowed pool frame (no payload copy before decode).
-    pub(crate) fn read_node(&self, pid: PageId) -> IndexResult<Node> {
+    pub(crate) fn read_node_owned(&self, pid: PageId) -> IndexResult<Node> {
         let mut io = IoStats::default();
         Ok(self
             .pool
@@ -315,7 +313,7 @@ impl<S: Storage> HybridTree<S> {
         p: &Point,
         oid: u64,
     ) -> IndexResult<Option<SplitPost>> {
-        match self.read_node(pid)? {
+        match self.read_node_owned(pid)? {
             Node::Data(mut entries) => {
                 entries.push(DataEntry {
                     point: p.clone(),
@@ -460,7 +458,7 @@ impl<S: Storage> HybridTree<S> {
         oid: u64,
         is_root: bool,
     ) -> IndexResult<DelOutcome> {
-        match self.read_node(pid)? {
+        match self.read_node_owned(pid)? {
             Node::Data(mut entries) => {
                 let Some(i) = entries
                     .iter()
@@ -521,7 +519,7 @@ impl<S: Storage> HybridTree<S> {
         let mut out = Vec::new();
         let mut stack = vec![pid];
         while let Some(pid) = stack.pop() {
-            match self.read_node(pid)? {
+            match self.read_node_owned(pid)? {
                 Node::Data(entries) => out.extend(entries),
                 Node::Index { kd, .. } => stack.extend(kd.child_ids()),
             }
@@ -533,7 +531,7 @@ impl<S: Storage> HybridTree<S> {
 
     fn maybe_shrink_root(&mut self) -> IndexResult<()> {
         while self.height > 1 {
-            let node = self.read_node(self.root)?;
+            let node = self.read_node_owned(self.root)?;
             match node {
                 Node::Index { kd, .. } if kd.fanout() == 1 => {
                     let child = kd.child_ids()[0];
@@ -550,75 +548,240 @@ impl<S: Storage> HybridTree<S> {
     }
 }
 
-/// Max-heap item for kNN result maintenance. `dist` is held in the
-/// metric's *comparator space* (squared for L2, p-th power for Lp; see
-/// [`Metric::distance_sq`]) and mapped back to an actual distance once
-/// per reported result by [`sorted_hits`].
-struct HeapHit {
-    dist: f64,
-    oid: u64,
-}
-
-impl PartialEq for HeapHit {
-    fn eq(&self, other: &Self) -> bool {
-        self.dist == other.dist && self.oid == other.oid
-    }
-}
-impl Eq for HeapHit {}
-impl PartialOrd for HeapHit {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapHit {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.dist
-            .total_cmp(&other.dist)
-            .then(self.oid.cmp(&other.oid))
-    }
-}
-
-/// Min-heap item for best-first node expansion (`dist` in comparator
-/// space, like [`HeapHit`]).
-struct PqNode {
-    dist: f64,
+/// [`NodeExpand`] node reference for the hybrid tree. Box queries need
+/// only the page id; distance-bounded traversal tracks either the node's
+/// depth (ELS enabled: quantized live-space boxes bound children in
+/// absolute coordinates, and depth alone tells data and index pages
+/// apart in the balanced tree) or the kd-region handed down from the
+/// parent (ELS disabled).
+struct HyRef {
     pid: PageId,
-    region: Rect,
+    depth: usize,
+    region: Option<Rect>,
 }
 
-impl PartialEq for PqNode {
-    fn eq(&self, other: &Self) -> bool {
-        self.dist == other.dist && self.pid == other.pid
-    }
+/// [`NodeExpand`] adapter for the hybrid tree. Each query kind keeps the
+/// exact read path of the former engine-local loop: box queries and
+/// ELS-mode range directory levels navigate the serialized node in place
+/// (paper §3.1: kd-based intra-node search, zero-copy), while kNN and
+/// data pages go through the governed decoded-node path.
+struct HyExpand<'t, S: Storage> {
+    tree: &'t HybridTree<S>,
 }
-impl Eq for PqNode {}
-impl PartialOrd for PqNode {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+
+impl<S: Storage> NodeExpand for HyExpand<'_, S> {
+    type Ref = HyRef;
+
+    fn node_id(&self, r: &HyRef) -> u64 {
+        u64::from(r.pid.0)
     }
-}
-impl Ord for PqNode {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want smallest dist first.
-        other
-            .dist
-            .total_cmp(&self.dist)
-            .then(other.pid.cmp(&self.pid))
+
+    fn roots(&self) -> Vec<HyRef> {
+        if self.tree.len == 0 {
+            return Vec::new();
+        }
+        vec![HyRef {
+            pid: self.tree.root,
+            depth: 0,
+            region: if self.tree.els.enabled() {
+                None
+            } else {
+                Some(self.tree.root_region())
+            },
+        }]
+    }
+
+    fn expand_box(
+        &self,
+        r: HyRef,
+        rect: &Rect,
+        io: &mut IoStats,
+        ctx: &QueryContext,
+        out: &mut Vec<u64>,
+        children: &mut Vec<HyRef>,
+    ) -> IndexResult<NodeKind> {
+        let t = self.tree;
+        let mut kids: Vec<PageId> = Vec::new();
+        // Navigate the serialized node in place (paper §3.1: kd-based
+        // intra-node search beats scanning an array of BRs), borrowing
+        // the resident frame instead of copying the page out first.
+        let is_leaf = t
+            .pool
+            .read_tracked_ctx_with(r.pid, io, ctx, |buf| -> PageResult<bool> {
+                match NodeView::parse(buf, t.dim)? {
+                    NodeView::Data(view) => {
+                        view.filter_box(rect, out);
+                        Ok(true)
+                    }
+                    NodeView::Index(view) => {
+                        // Two-step overlap check (paper §3.4): the kd
+                        // split positions prune first; the quantized
+                        // live-space BR is consulted only for children
+                        // that survive.
+                        view.children_overlapping_box(rect, &mut kids)?;
+                        Ok(false)
+                    }
+                }
+            })
+            .and_then(|r| r)?;
+        if is_leaf {
+            return Ok(NodeKind::Leaf);
+        }
+        children.extend(
+            kids.into_iter()
+                .filter(|c| t.els.may_intersect(*c, rect))
+                .map(|pid| HyRef {
+                    pid,
+                    depth: 0,
+                    region: None,
+                }),
+        );
+        Ok(NodeKind::Index)
+    }
+
+    fn expand_range(
+        &self,
+        r: HyRef,
+        nq: NearQuery<'_>,
+        io: &mut IoStats,
+        ctx: &QueryContext,
+        sink: &mut dyn EntrySink,
+        children: &mut Vec<Child<HyRef>>,
+    ) -> IndexResult<NodeKind> {
+        let t = self.tree;
+        if t.els.enabled() {
+            // Region-free traversal: index pages are walked in serialized
+            // form, data pages go through the decoded-node path (shared,
+            // cacheable — this is the scan-heavy side of the query).
+            let leaf_depth = t.height - 1;
+            if r.depth == leaf_depth {
+                let node = t.read_node_ctx(r.pid, io, ctx)?;
+                let Node::Data(entries) = &*node else {
+                    return Err(IndexError::Storage(PageError::Corrupt(format!(
+                        "{}: expected a data node at the leaf level",
+                        r.pid
+                    ))));
+                };
+                for e in entries {
+                    sink.offer(e.oid, &e.point);
+                }
+                return Ok(NodeKind::Leaf);
+            }
+            let mut kids: Vec<PageId> = Vec::new();
+            t.pool
+                .read_tracked_ctx_with(r.pid, io, ctx, |buf| -> PageResult<()> {
+                    match NodeView::parse(buf, t.dim)? {
+                        NodeView::Index(view) => view.child_ids(&mut kids),
+                        NodeView::Data(_) => Err(PageError::Corrupt(format!(
+                            "{}: expected an index node above the leaf level",
+                            r.pid
+                        ))),
+                    }
+                })
+                .and_then(|x| x)?;
+            children.extend(kids.into_iter().map(|pid| {
+                Child {
+                    bound: t
+                        .els
+                        .quant_rect(pid)
+                        .map_or(0.0, |b| nq.metric.min_dist_rect_sq(nq.q, b)),
+                    node: HyRef {
+                        pid,
+                        depth: r.depth + 1,
+                        region: None,
+                    },
+                }
+            }));
+            return Ok(NodeKind::Index);
+        }
+        // ELS disabled: prune with kd-regions tracked down the tree.
+        self.expand_regioned(r, nq, io, ctx, sink, children)
+    }
+
+    fn expand_near(
+        &self,
+        r: HyRef,
+        nq: NearQuery<'_>,
+        io: &mut IoStats,
+        ctx: &QueryContext,
+        sink: &mut dyn EntrySink,
+        children: &mut Vec<Child<HyRef>>,
+    ) -> IndexResult<NodeKind> {
+        let t = self.tree;
+        if !t.els.enabled() {
+            return self.expand_regioned(r, nq, io, ctx, sink, children);
+        }
+        // Quantized live boxes bound every child; regions are not needed.
+        // Unlike box/range, every page goes through the decoded-node path:
+        // best-first search revisits levels out of order, which is where
+        // the cache pays.
+        let node = t.read_node_ctx(r.pid, io, ctx)?;
+        match &*node {
+            Node::Data(entries) => {
+                for e in entries {
+                    sink.offer(e.oid, &e.point);
+                }
+                Ok(NodeKind::Leaf)
+            }
+            Node::Index { kd, .. } => {
+                children.extend(kd.child_ids().into_iter().map(|pid| {
+                    Child {
+                        bound: t
+                            .els
+                            .quant_rect(pid)
+                            .map_or(0.0, |b| nq.metric.min_dist_rect_sq(nq.q, b)),
+                        node: HyRef {
+                            pid,
+                            depth: r.depth + 1,
+                            region: None,
+                        },
+                    }
+                }));
+                Ok(NodeKind::Index)
+            }
+        }
     }
 }
 
-/// Drains a kNN candidate heap into `(oid, dist)` pairs sorted by
-/// ascending distance (ties by oid), mapping each comparator-space value
-/// back to an actual distance — the one root each reported neighbor
-/// pays. Used both for complete answers and for the best-so-far payload
-/// of an interrupted query.
-fn sorted_hits(best: BinaryHeap<HeapHit>, metric: &dyn Metric) -> Vec<(u64, f64)> {
-    let mut hits: Vec<(u64, f64)> = best
-        .into_iter()
-        .map(|h| (h.oid, metric.distance_from_sq(h.dist)))
-        .collect();
-    hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-    hits
+impl<S: Storage> HyExpand<'_, S> {
+    /// Shared ELS-disabled expansion: decoded reads with kd-regions
+    /// handed down the tree bounding every child.
+    fn expand_regioned(
+        &self,
+        r: HyRef,
+        nq: NearQuery<'_>,
+        io: &mut IoStats,
+        ctx: &QueryContext,
+        sink: &mut dyn EntrySink,
+        children: &mut Vec<Child<HyRef>>,
+    ) -> IndexResult<NodeKind> {
+        let t = self.tree;
+        let node = t.read_node_ctx(r.pid, io, ctx)?;
+        match &*node {
+            Node::Data(entries) => {
+                for e in entries {
+                    sink.offer(e.oid, &e.point);
+                }
+                Ok(NodeKind::Leaf)
+            }
+            Node::Index { kd, .. } => {
+                let region = r.region.as_ref().ok_or_else(|| {
+                    IndexError::Internal("kd-region missing in region-tracked traversal".into())
+                })?;
+                children.extend(kd.children_with_regions(region).into_iter().map(
+                    |(pid, child_region)| Child {
+                        bound: nq.metric.min_dist_rect_sq(nq.q, &child_region),
+                        node: HyRef {
+                            pid,
+                            depth: r.depth + 1,
+                            region: Some(child_region),
+                        },
+                    },
+                ));
+                Ok(NodeKind::Index)
+            }
+        }
+    }
 }
 
 impl<S: Storage> MultidimIndex for HybridTree<S> {
@@ -669,53 +832,7 @@ impl<S: Storage> MultidimIndex for HybridTree<S> {
         ctx: &QueryContext,
     ) -> IndexResult<(QueryOutcome<Vec<u64>>, IoStats)> {
         check_dim(self.dim, rect.dim())?;
-        let mut io = IoStats::default();
-        if self.len == 0 {
-            return Ok((QueryOutcome::Complete(Vec::new()), io));
-        }
-        let mut out = Vec::new();
-        let mut stack = vec![self.root];
-        let mut kids = Vec::new();
-        while let Some(pid) = stack.pop() {
-            kids.clear();
-            // Navigate the serialized node in place (paper §3.1: kd-based
-            // intra-node search beats scanning an array of BRs), borrowing
-            // the resident frame instead of copying the page out first.
-            let parsed = self
-                .pool
-                .read_tracked_ctx_with(pid, &mut io, ctx, |buf| -> PageResult<bool> {
-                    match NodeView::parse(buf, self.dim)? {
-                        NodeView::Data(view) => {
-                            view.filter_box(rect, &mut out);
-                            Ok(true)
-                        }
-                        NodeView::Index(view) => {
-                            // Two-step overlap check (paper §3.4): the kd
-                            // split positions prune first; the quantized
-                            // live-space BR is consulted only for children
-                            // that survive.
-                            view.children_overlapping_box(rect, &mut kids)?;
-                            Ok(false)
-                        }
-                    }
-                })
-                .and_then(|r| r);
-            match parsed {
-                Ok(true) => {
-                    if apply_result_cap(ctx, &mut out, !stack.is_empty()) {
-                        return Ok((
-                            QueryOutcome::degraded(out, DegradeReason::BudgetExhausted),
-                            io,
-                        ));
-                    }
-                }
-                Ok(false) => {
-                    stack.extend(kids.iter().filter(|c| self.els.may_intersect(**c, rect)));
-                }
-                Err(e) => return settle_interrupt(e.into(), out, io),
-            }
-        }
-        Ok((QueryOutcome::Complete(out), io))
+        hyt_exec::run_box_query(&HyExpand { tree: self }, rect, ctx)
     }
 
     fn distance_range_ctx(
@@ -726,110 +843,7 @@ impl<S: Storage> MultidimIndex for HybridTree<S> {
         ctx: &QueryContext,
     ) -> IndexResult<(QueryOutcome<Vec<u64>>, IoStats)> {
         check_dim(self.dim, q.dim())?;
-        let mut io = IoStats::default();
-        if self.len == 0 {
-            return Ok((QueryOutcome::Complete(Vec::new()), io));
-        }
-        let mut out = Vec::new();
-        // Comparator-space pruning bound (see `range_bound_sq`): nodes and
-        // candidates are compared root-free; survivors pay one root each
-        // for the exact `<= radius` check, so the result set is identical
-        // to filtering on actual distances.
-        let bound_sq = range_bound_sq(metric, radius);
-        let keep_within = |entries: &[DataEntry], out: &mut Vec<u64>| {
-            for e in entries {
-                if let Some(c) = metric.distance_sq_within(q, &e.point, bound_sq) {
-                    if metric.distance_from_sq(c) <= radius {
-                        out.push(e.oid);
-                    }
-                }
-            }
-        };
-        if self.els.enabled() {
-            // Region-free traversal: prune each child with its quantized
-            // live-space box (absolute coordinates, zero allocation). The
-            // tree is balanced, so depth alone tells data and index pages
-            // apart: index pages are walked in serialized form, data pages
-            // go through the decoded-node path (shared, cacheable — this
-            // is the scan-heavy side of the query).
-            let leaf_depth = self.height - 1;
-            let mut stack = vec![(self.root, 0usize)];
-            let mut kids = Vec::new();
-            while let Some((pid, depth)) = stack.pop() {
-                if depth == leaf_depth {
-                    let node = match self.read_node_ctx(pid, &mut io, ctx) {
-                        Ok(node) => node,
-                        Err(e) => return settle_interrupt(e, out, io),
-                    };
-                    let Node::Data(entries) = &*node else {
-                        return Err(IndexError::Storage(PageError::Corrupt(format!(
-                            "{pid}: expected a data node at the leaf level"
-                        ))));
-                    };
-                    keep_within(entries, &mut out);
-                    if apply_result_cap(ctx, &mut out, !stack.is_empty()) {
-                        return Ok((
-                            QueryOutcome::degraded(out, DegradeReason::BudgetExhausted),
-                            io,
-                        ));
-                    }
-                    continue;
-                }
-                kids.clear();
-                let parsed = self
-                    .pool
-                    .read_tracked_ctx_with(pid, &mut io, ctx, |buf| -> PageResult<()> {
-                        match NodeView::parse(buf, self.dim)? {
-                            NodeView::Index(view) => view.child_ids(&mut kids),
-                            NodeView::Data(_) => Err(PageError::Corrupt(format!(
-                                "{pid}: expected an index node above the leaf level"
-                            ))),
-                        }
-                    })
-                    .and_then(|r| r);
-                if let Err(e) = parsed {
-                    return settle_interrupt(e.into(), out, io);
-                }
-                for &child in &kids {
-                    let c = self
-                        .els
-                        .quant_rect(child)
-                        .map_or(0.0, |r| metric.min_dist_rect_sq(q, r));
-                    if c <= bound_sq {
-                        stack.push((child, depth + 1));
-                    }
-                }
-            }
-            return Ok((QueryOutcome::Complete(out), io));
-        }
-        // ELS disabled: prune with kd-regions tracked down the tree.
-        let region = self.root_region();
-        let mut stack = vec![(self.root, region)];
-        while let Some((pid, region)) = stack.pop() {
-            let node = match self.read_node_ctx(pid, &mut io, ctx) {
-                Ok(node) => node,
-                Err(e) => return settle_interrupt(e, out, io),
-            };
-            match &*node {
-                Node::Data(entries) => {
-                    keep_within(entries, &mut out);
-                    if apply_result_cap(ctx, &mut out, !stack.is_empty()) {
-                        return Ok((
-                            QueryOutcome::degraded(out, DegradeReason::BudgetExhausted),
-                            io,
-                        ));
-                    }
-                }
-                Node::Index { kd, .. } => {
-                    for (child, child_region) in kd.children_with_regions(&region) {
-                        if metric.min_dist_rect_sq(q, &child_region) <= bound_sq {
-                            stack.push((child, child_region));
-                        }
-                    }
-                }
-            }
-        }
-        Ok((QueryOutcome::Complete(out), io))
+        hyt_exec::run_distance_range(&HyExpand { tree: self }, q, radius, metric, ctx)
     }
 
     fn knn_ctx(
@@ -840,95 +854,22 @@ impl<S: Storage> MultidimIndex for HybridTree<S> {
         ctx: &QueryContext,
     ) -> IndexResult<(QueryOutcome<Vec<(u64, f64)>>, IoStats)> {
         check_dim(self.dim, q.dim())?;
-        let mut io = IoStats::default();
-        // A result cap below k clamps k: the traversal then finds the
-        // true cap-nearest neighbors, reported as budget-degraded.
-        let clamped = ctx.max_results.is_some_and(|m| m < k);
-        let k = ctx.max_results.map_or(k, |m| k.min(m));
-        if k == 0 || self.len == 0 {
-            return Ok((QueryOutcome::Complete(Vec::new()), io));
-        }
-        let mut pq: BinaryHeap<PqNode> = BinaryHeap::new();
-        let mut best: BinaryHeap<HeapHit> = BinaryHeap::new();
-        pq.push(PqNode {
-            dist: 0.0,
-            pid: self.root,
-            region: self.root_region(),
-        });
-        while let Some(item) = pq.pop() {
-            if best.len() == k && item.dist > best.peek().unwrap().dist {
-                break;
-            }
-            let node = match self.read_node_ctx(item.pid, &mut io, ctx) {
-                Ok(node) => node,
-                Err(e) => return settle_interrupt(e, sorted_hits(best, metric), io),
-            };
-            match &*node {
-                Node::Data(entries) => {
-                    for e in entries {
-                        // Early-abandon scan against the current k-th best
-                        // (comparator space; no root per candidate).
-                        let worst = if best.len() < k {
-                            f64::INFINITY
-                        } else {
-                            best.peek().unwrap().dist
-                        };
-                        if let Some(c) = metric.distance_sq_within(q, &e.point, worst) {
-                            if best.len() < k {
-                                best.push(HeapHit {
-                                    dist: c,
-                                    oid: e.oid,
-                                });
-                            } else if c < best.peek().unwrap().dist {
-                                best.pop();
-                                best.push(HeapHit {
-                                    dist: c,
-                                    oid: e.oid,
-                                });
-                            }
-                        }
-                    }
-                }
-                Node::Index { kd, .. } => {
-                    if self.els.enabled() {
-                        // Quantized live boxes bound every child; regions
-                        // are not needed.
-                        for child in kd.child_ids() {
-                            let c = self
-                                .els
-                                .quant_rect(child)
-                                .map_or(0.0, |r| metric.min_dist_rect_sq(q, r));
-                            if best.len() < k || c <= best.peek().unwrap().dist {
-                                pq.push(PqNode {
-                                    dist: c,
-                                    pid: child,
-                                    region: item.region.clone(),
-                                });
-                            }
-                        }
-                    } else {
-                        for (child, child_region) in kd.children_with_regions(&item.region) {
-                            let c = metric.min_dist_rect_sq(q, &child_region);
-                            if best.len() < k || c <= best.peek().unwrap().dist {
-                                pq.push(PqNode {
-                                    dist: c,
-                                    pid: child,
-                                    region: child_region,
-                                });
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        let hits = sorted_hits(best, metric);
-        if clamped {
-            return Ok((
-                QueryOutcome::degraded(hits, DegradeReason::BudgetExhausted),
-                io,
-            ));
-        }
-        Ok((QueryOutcome::Complete(hits), io))
+        hyt_exec::run_knn(&HyExpand { tree: self }, q, k, metric, ctx)
+    }
+
+    fn knn_stream<'a>(
+        &'a self,
+        q: &Point,
+        metric: &'a dyn Metric,
+        ctx: &QueryContext,
+    ) -> IndexResult<Box<dyn KnnStream + 'a>> {
+        check_dim(self.dim, q.dim())?;
+        Ok(Box::new(KnnCursor::new(
+            HyExpand { tree: self },
+            q.clone(),
+            metric,
+            ctx.clone(),
+        )))
     }
 
     fn io_stats(&self) -> IoStats {

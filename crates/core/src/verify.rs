@@ -3,8 +3,8 @@
 use crate::node::{Node, INDEX_HEADER_BYTES};
 use crate::tree::HybridTree;
 use hyt_geom::Rect;
-use hyt_index::{IndexError, IndexResult};
-use hyt_page::{PageId, Storage};
+use hyt_index::{IndexError, IndexResult, QueryContext};
+use hyt_page::{IoStats, PageId, Storage};
 
 /// Verifies every documented structural invariant of the tree:
 ///
@@ -54,12 +54,13 @@ fn check_rec<S: Storage>(
     if !seen.insert(pid) {
         return Err(err(pid, "page referenced more than once".into()));
     }
-    let node = tree.read_node(pid)?;
+    let mut io = IoStats::default();
+    let node = tree.read_node_ctx(pid, &mut io, QueryContext::unlimited())?;
     let size = node.encoded_size(tree.dim);
     if size > tree.cfg.page_size {
         return Err(err(pid, format!("encoded size {size} exceeds page")));
     }
-    match node {
+    match &*node {
         Node::Data(entries) => {
             if expected_level != 0 {
                 return Err(err(pid, format!("data node at level {expected_level}")));
@@ -77,7 +78,7 @@ fn check_rec<S: Storage>(
                     ),
                 ));
             }
-            for e in &entries {
+            for e in entries {
                 if !region.contains_point(&e.point) {
                     return Err(err(
                         pid,
@@ -88,7 +89,7 @@ fn check_rec<S: Storage>(
             Ok(entries.len())
         }
         Node::Index { level, kd } => {
-            if level != expected_level {
+            if *level != expected_level {
                 return Err(err(
                     pid,
                     format!("level {level}, expected {expected_level}"),
@@ -131,11 +132,13 @@ fn check_points_within<S: Storage>(
     pid: PageId,
     eff: &Rect,
 ) -> IndexResult<()> {
+    let mut io = IoStats::default();
     let mut stack = vec![pid];
     while let Some(pid) = stack.pop() {
-        match tree.read_node(pid)? {
+        let node = tree.read_node_ctx(pid, &mut io, QueryContext::unlimited())?;
+        match &*node {
             Node::Data(entries) => {
-                for e in &entries {
+                for e in entries {
                     if !eff.contains_point(&e.point) {
                         return Err(err(
                             pid,

@@ -8,6 +8,7 @@ use hyt_index::{
     CancelToken, DegradeReason, IndexError, IndexResult, Interrupt, MultidimIndex, QueryContext,
     QueryOutcome,
 };
+
 use hyt_kdbtree::{KdbTree, KdbTreeConfig};
 use hyt_page::{IoStats, PageError, DEFAULT_PAGE_SIZE};
 use hyt_scan::SeqScan;
@@ -752,6 +753,37 @@ pub fn run_batch_governed(
         out.extend(chunk_answers?);
     }
     Ok(out)
+}
+
+/// Drains an engine's streaming kNN cursor (distance browsing) and
+/// returns the hits in yield order together with the cursor's I/O and
+/// its degradation reason, if the governance budget stopped it early.
+///
+/// The cursor yields neighbors one at a time in ascending distance; the
+/// first `k` yields are exactly the batch `knn` answer, so this is the
+/// incremental path for consumers that do not know `k` up front. A hard
+/// error (corruption, unsupported engine) aborts with `Err`; governance
+/// interrupts terminate the stream and surface as `Some(reason)`.
+#[allow(clippy::type_complexity)]
+pub fn run_knn_stream(
+    idx: &dyn MultidimIndex,
+    q: &Point,
+    k: usize,
+    metric: &dyn Metric,
+    ctx: &QueryContext,
+) -> IndexResult<(Vec<(u64, f64)>, IoStats, Option<DegradeReason>)> {
+    let mut cursor = idx.knn_stream(q, metric, ctx)?;
+    let mut hits = Vec::new();
+    while hits.len() < k {
+        match cursor.next() {
+            Some(hit) => hits.push(hit),
+            None => break,
+        }
+    }
+    if let Some(e) = cursor.take_error() {
+        return Err(e);
+    }
+    Ok((hits, cursor.io(), cursor.degrade_reason()))
 }
 
 #[cfg(test)]

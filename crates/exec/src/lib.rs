@@ -1,0 +1,953 @@
+//! Unified query executor: one governed traversal kernel for every engine.
+//!
+//! The paper's observation (§4) is that DP-style trees (SR-tree), SP-style
+//! trees (kDB-tree, hB-tree), the hybrid tree, and even a linear scan all
+//! answer box / distance-range / kNN queries with the *same* guided
+//! traversal: maintain a frontier of node references, expand the best (or
+//! next) one, collect leaf entries, prune children by a lower bound. This
+//! crate hoists that loop out of the five engines into three shared
+//! drivers — [`run_box_query`], [`run_distance_range`], [`run_knn`] — plus
+//! an incremental distance-browsing cursor ([`KnnCursor`]). Engines
+//! implement the [`NodeExpand`] trait once: "given one node reference,
+//! read it (attributing I/O, honoring the [`QueryContext`]) and emit leaf
+//! entries and/or bounded children". Everything cross-cutting lives here:
+//!
+//! * **Governance** — per-read admission happens inside the engines' pool
+//!   reads (unchanged from PR 3); this kernel owns the *settlement*: an
+//!   interrupted read degrades the query via
+//!   [`settle_interrupt`] with the partial
+//!   answer accumulated so far, and the result-cardinality cap is applied
+//!   after every leaf via [`apply_result_cap`].
+//! * **Comparator space** — all bounds and candidate distances are squared
+//!   (root-free) values; each reported neighbor pays exactly one
+//!   [`Metric::distance_from_sq`] on the way out.
+//! * **Early abandon** — kNN candidate scans go through a sink that
+//!   applies [`Metric::distance_sq_within`] against the current k-th best.
+//!
+//! The kernel is *bit-identical* to the per-engine loops it replaced:
+//! same answers, same logical/sequential read accounting, same degradation
+//! points (the cross-engine, governance, and decoded-cache suites are the
+//! oracle). The one deliberate refinement is the kNN candidate tie-break:
+//! replacement at the k boundary is now ordered by `(distance, oid)`
+//! rather than distance alone, which changes *which* oid survives an exact
+//! distance tie (answers' distance multisets, I/O, and pruning are
+//! unaffected) and is what makes [`KnnCursor`] prefixes equal batch
+//! results exactly.
+
+use hyt_geom::{range_bound_sq, Metric, Point, Rect};
+use hyt_index::{
+    apply_result_cap, settle_interrupt, DegradeReason, IndexError, IndexResult, KnnStream,
+    QueryContext, QueryOutcome,
+};
+use hyt_page::IoStats;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// What kind of node an [`NodeExpand::expand_box`] (or range/near) call
+/// visited. `Leaf` triggers the result-cardinality cap check; a leaf may
+/// still emit children (the hB-tree's data-page redirects).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A data page: entries were offered to the sink / output.
+    Leaf,
+    /// A directory page: only children were emitted.
+    Index,
+}
+
+/// A child reference emitted during distance-bounded expansion, tagged
+/// with a comparator-space (squared) lower bound on the distance from the
+/// query point to anything stored beneath it.
+#[derive(Clone, Debug)]
+pub struct Child<R> {
+    /// Squared lower bound (`MINDIST`-style); `0.0` when the engine has no
+    /// bounding information for this child.
+    pub bound: f64,
+    /// The engine-specific node reference.
+    pub node: R,
+}
+
+/// The query point and metric threaded through distance-bounded
+/// expansion, bundled so engine adapters take one query argument.
+#[derive(Clone, Copy)]
+pub struct NearQuery<'a> {
+    /// The query point.
+    pub q: &'a Point,
+    /// The distance function (chosen per query — the paper's trees are
+    /// feature-based, so the structure never depends on it).
+    pub metric: &'a dyn Metric,
+}
+
+/// Receives candidate leaf entries during distance-bounded expansion.
+/// The kernel's sinks own filtering (range membership, kNN best-k with
+/// early abandon); engines just offer every entry of a visited data page.
+pub trait EntrySink {
+    /// Offers one stored `(oid, point)` entry.
+    fn offer(&mut self, oid: u64, p: &Point);
+}
+
+/// The one primitive an engine contributes to the unified executor:
+/// expand a single node reference. Implementations perform their own
+/// buffer-pool reads (preserving each engine's exact I/O path — decoded
+/// cache, zero-copy view, or sequential scan — and its per-query I/O
+/// attribution and governed admission), then report what the node held.
+///
+/// # Contract
+///
+/// * `roots` is the initial frontier in visit order; it must be empty for
+///   an empty index (so queries complete without touching storage).
+/// * Child bounds must be true lower bounds: every entry stored beneath
+///   `child` satisfies `distance_sq(q, entry) >= bound`. The kernel's
+///   best-first termination and pruning are correct under exactly this
+///   contract — bounds need not be monotone along a path (quantized
+///   live-space boxes are not), only valid.
+/// * An `Err` whose [`IndexError::interrupt`] is `Some` means a governed
+///   read was denied *before* any of this node's entries were emitted;
+///   the kernel settles it into a degraded answer.
+pub trait NodeExpand {
+    /// Engine-specific node reference carried on the frontier.
+    type Ref;
+
+    /// A stable identifier for `r` (the page id): priority-queue
+    /// tie-break (smallest first) and visited-set key.
+    fn node_id(&self, r: &Self::Ref) -> u64;
+
+    /// Initial frontier, in visit order. Empty for an empty index.
+    fn roots(&self) -> Vec<Self::Ref>;
+
+    /// Whether a node can be reached through more than one path (hB-tree
+    /// redirect graph): the kernel then visits each node id once.
+    fn dedup_visits(&self) -> bool {
+        false
+    }
+
+    /// Whether the engine cannot tell how much work remains after a leaf
+    /// (hB-tree: the redirect graph hides it). Landing exactly on the
+    /// result cap then conservatively degrades.
+    fn opaque_remaining_work(&self) -> bool {
+        false
+    }
+
+    /// Box-query expansion: push matching oids of a data page into `out`,
+    /// or children overlapping `rect` (engine-side geometric filtering)
+    /// into `children`.
+    fn expand_box(
+        &self,
+        r: Self::Ref,
+        rect: &Rect,
+        io: &mut IoStats,
+        ctx: &QueryContext,
+        out: &mut Vec<u64>,
+        children: &mut Vec<Self::Ref>,
+    ) -> IndexResult<NodeKind>;
+
+    /// Distance-range expansion: offer every entry of a data page to
+    /// `sink`, or emit children with squared lower bounds (the kernel
+    /// prunes against the query's comparator-space bound).
+    fn expand_range(
+        &self,
+        r: Self::Ref,
+        nq: NearQuery<'_>,
+        io: &mut IoStats,
+        ctx: &QueryContext,
+        sink: &mut dyn EntrySink,
+        children: &mut Vec<Child<Self::Ref>>,
+    ) -> IndexResult<NodeKind>;
+
+    /// Nearest-neighbor expansion: same shape as
+    /// [`expand_range`](Self::expand_range), used by the best-first kNN
+    /// driver and the streaming cursor. Split out because an engine may
+    /// choose a different read path per query kind (the hybrid tree walks
+    /// range-query directory pages zero-copy but decodes them for kNN).
+    fn expand_near(
+        &self,
+        r: Self::Ref,
+        nq: NearQuery<'_>,
+        io: &mut IoStats,
+        ctx: &QueryContext,
+        sink: &mut dyn EntrySink,
+        children: &mut Vec<Child<Self::Ref>>,
+    ) -> IndexResult<NodeKind>;
+}
+
+// ---------------------------------------------------------------------
+// Depth-first drivers: box and distance-range
+// ---------------------------------------------------------------------
+
+/// Runs a governed bounding-box query over any [`NodeExpand`] engine.
+///
+/// Depth-first over the engine's frontier: children are visited in the
+/// order emitted (last emitted sibling first, exactly like the former
+/// per-engine stacks; the root list is visited front to back). After
+/// every leaf the result cap is checked; a denied read settles into a
+/// degraded outcome carrying the oids found so far.
+pub fn run_box_query<E: NodeExpand>(
+    ex: &E,
+    rect: &Rect,
+    ctx: &QueryContext,
+) -> IndexResult<(QueryOutcome<Vec<u64>>, IoStats)> {
+    let mut io = IoStats::default();
+    let mut out = Vec::new();
+    let mut stack = ex.roots();
+    stack.reverse();
+    let dedup = ex.dedup_visits();
+    let mut visited: HashSet<u64> = HashSet::new();
+    let mut children = Vec::new();
+    while let Some(r) = stack.pop() {
+        if dedup && !visited.insert(ex.node_id(&r)) {
+            continue;
+        }
+        children.clear();
+        match ex.expand_box(r, rect, &mut io, ctx, &mut out, &mut children) {
+            Err(e) => return settle_interrupt(e, out, io),
+            Ok(NodeKind::Leaf) => {
+                if apply_result_cap(
+                    ctx,
+                    &mut out,
+                    ex.opaque_remaining_work() || !stack.is_empty(),
+                ) {
+                    return Ok((
+                        QueryOutcome::degraded(out, DegradeReason::BudgetExhausted),
+                        io,
+                    ));
+                }
+                stack.append(&mut children);
+            }
+            Ok(NodeKind::Index) => stack.append(&mut children),
+        }
+    }
+    Ok((QueryOutcome::Complete(out), io))
+}
+
+/// [`EntrySink`] for distance-range queries: comparator-space filtering
+/// against `bound_sq` with one exact (rooted) `<= radius` check per
+/// survivor, identical to the former per-engine leaf loops.
+struct RangeSink<'a> {
+    q: &'a Point,
+    metric: &'a dyn Metric,
+    radius: f64,
+    bound_sq: f64,
+    out: Vec<u64>,
+}
+
+impl EntrySink for RangeSink<'_> {
+    fn offer(&mut self, oid: u64, p: &Point) {
+        if let Some(c) = self.metric.distance_sq_within(self.q, p, self.bound_sq) {
+            if self.metric.distance_from_sq(c) <= self.radius {
+                self.out.push(oid);
+            }
+        }
+    }
+}
+
+/// Runs a governed distance-range query over any [`NodeExpand`] engine.
+///
+/// Same depth-first shape as [`run_box_query`]; children survive only if
+/// their squared lower bound is within the query's comparator-space bound
+/// (`range_bound_sq`, slightly relaxed so boundary entries are never
+/// pruned — survivors are verified exactly).
+pub fn run_distance_range<E: NodeExpand>(
+    ex: &E,
+    q: &Point,
+    radius: f64,
+    metric: &dyn Metric,
+    ctx: &QueryContext,
+) -> IndexResult<(QueryOutcome<Vec<u64>>, IoStats)> {
+    let mut io = IoStats::default();
+    let bound_sq = range_bound_sq(metric, radius);
+    let mut sink = RangeSink {
+        q,
+        metric,
+        radius,
+        bound_sq,
+        out: Vec::new(),
+    };
+    let mut stack = ex.roots();
+    stack.reverse();
+    let dedup = ex.dedup_visits();
+    let mut visited: HashSet<u64> = HashSet::new();
+    let mut children: Vec<Child<E::Ref>> = Vec::new();
+    while let Some(r) = stack.pop() {
+        if dedup && !visited.insert(ex.node_id(&r)) {
+            continue;
+        }
+        children.clear();
+        match ex.expand_range(
+            r,
+            NearQuery { q, metric },
+            &mut io,
+            ctx,
+            &mut sink,
+            &mut children,
+        ) {
+            Err(e) => return settle_interrupt(e, sink.out, io),
+            Ok(kind) => {
+                if kind == NodeKind::Leaf
+                    && apply_result_cap(
+                        ctx,
+                        &mut sink.out,
+                        ex.opaque_remaining_work() || !stack.is_empty(),
+                    )
+                {
+                    return Ok((
+                        QueryOutcome::degraded(sink.out, DegradeReason::BudgetExhausted),
+                        io,
+                    ));
+                }
+                stack.extend(
+                    children
+                        .drain(..)
+                        .filter(|c| c.bound <= bound_sq)
+                        .map(|c| c.node),
+                );
+            }
+        }
+    }
+    Ok((QueryOutcome::Complete(sink.out), io))
+}
+
+// ---------------------------------------------------------------------
+// Best-first kNN driver
+// ---------------------------------------------------------------------
+
+/// Min-heap entry for the best-first node frontier: smallest bound first,
+/// ties broken by smallest node id (deterministic traversal).
+struct PqNode<R> {
+    bound: f64,
+    id: u64,
+    node: R,
+}
+
+impl<R> PartialEq for PqNode<R> {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.id == other.id
+    }
+}
+impl<R> Eq for PqNode<R> {}
+impl<R> PartialOrd for PqNode<R> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<R> Ord for PqNode<R> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want smallest bound first.
+        other
+            .bound
+            .total_cmp(&self.bound)
+            .then(other.id.cmp(&self.id))
+    }
+}
+
+/// Max-heap entry for the current best-k candidates, ordered by
+/// `(comparator-space distance, oid)` so the candidate evicted at the k
+/// boundary is deterministic.
+#[derive(Clone, Copy)]
+struct HeapHit {
+    dist: f64,
+    oid: u64,
+}
+impl PartialEq for HeapHit {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapHit {}
+impl PartialOrd for HeapHit {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapHit {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist
+            .total_cmp(&other.dist)
+            .then(self.oid.cmp(&other.oid))
+    }
+}
+
+/// The kNN best-k collector: an [`EntrySink`] applying the early-abandon
+/// candidate scan (partial distances against the current k-th best) and
+/// the deterministic `(distance, oid)` replacement rule.
+struct KnnAcc<'a> {
+    q: &'a Point,
+    metric: &'a dyn Metric,
+    k: usize,
+    best: BinaryHeap<HeapHit>,
+}
+
+impl<'a> KnnAcc<'a> {
+    fn new(q: &'a Point, metric: &'a dyn Metric, k: usize) -> Self {
+        KnnAcc {
+            q,
+            metric,
+            k,
+            best: BinaryHeap::new(),
+        }
+    }
+
+    fn full(&self) -> bool {
+        self.best.len() == self.k
+    }
+
+    /// Current comparator-space pruning bound: the k-th best distance, or
+    /// infinity while the candidate set is not yet full.
+    fn worst(&self) -> f64 {
+        if self.best.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.best.peek().map_or(f64::INFINITY, |h| h.dist)
+        }
+    }
+
+    /// Whether a node with squared lower bound `b` could still contribute
+    /// (ties admitted, matching the former per-engine push filters).
+    fn admits(&self, b: f64) -> bool {
+        self.best.len() < self.k || self.best.peek().is_some_and(|h| b <= h.dist)
+    }
+
+    /// Drains into `(oid, distance)` sorted ascending (ties by oid),
+    /// paying the single per-result root.
+    fn into_sorted_hits(self) -> Vec<(u64, f64)> {
+        let metric = self.metric;
+        let mut hits: Vec<(u64, f64)> = self
+            .best
+            .into_iter()
+            .map(|h| (h.oid, metric.distance_from_sq(h.dist)))
+            .collect();
+        hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        hits
+    }
+}
+
+impl EntrySink for KnnAcc<'_> {
+    fn offer(&mut self, oid: u64, p: &Point) {
+        let worst = self.worst();
+        if let Some(c) = self.metric.distance_sq_within(self.q, p, worst) {
+            let hit = HeapHit { dist: c, oid };
+            if self.best.len() < self.k {
+                self.best.push(hit);
+            } else if self
+                .best
+                .peek()
+                .is_some_and(|peek| hit.cmp(peek) == Ordering::Less)
+            {
+                self.best.pop();
+                self.best.push(hit);
+            }
+        }
+    }
+}
+
+/// Runs a governed k-nearest-neighbor query over any [`NodeExpand`]
+/// engine: best-first over `(bound, node id)`, terminating when the
+/// closest unexpanded node is strictly farther than the k-th best
+/// candidate. A `max_results` cap below `k` clamps `k` — the traversal
+/// then finds the true cap-nearest neighbors, reported as
+/// budget-degraded. A denied read settles into the best candidates found
+/// so far, sorted.
+#[allow(clippy::type_complexity)]
+pub fn run_knn<E: NodeExpand>(
+    ex: &E,
+    q: &Point,
+    k: usize,
+    metric: &dyn Metric,
+    ctx: &QueryContext,
+) -> IndexResult<(QueryOutcome<Vec<(u64, f64)>>, IoStats)> {
+    let mut io = IoStats::default();
+    let clamped = ctx.max_results.is_some_and(|m| m < k);
+    let k = ctx.max_results.map_or(k, |m| k.min(m));
+    if k == 0 {
+        return Ok((QueryOutcome::Complete(Vec::new()), io));
+    }
+    let mut pq: BinaryHeap<PqNode<E::Ref>> = ex
+        .roots()
+        .into_iter()
+        .map(|r| PqNode {
+            bound: 0.0,
+            id: ex.node_id(&r),
+            node: r,
+        })
+        .collect();
+    if pq.is_empty() {
+        return Ok((QueryOutcome::Complete(Vec::new()), io));
+    }
+    let dedup = ex.dedup_visits();
+    let mut visited: HashSet<u64> = HashSet::new();
+    let mut acc = KnnAcc::new(q, metric, k);
+    let mut children: Vec<Child<E::Ref>> = Vec::new();
+    while let Some(item) = pq.pop() {
+        if acc.full() && item.bound > acc.worst() {
+            break;
+        }
+        if dedup && !visited.insert(item.id) {
+            continue;
+        }
+        children.clear();
+        if let Err(e) = ex.expand_near(
+            item.node,
+            NearQuery { q, metric },
+            &mut io,
+            ctx,
+            &mut acc,
+            &mut children,
+        ) {
+            return settle_interrupt(e, acc.into_sorted_hits(), io);
+        }
+        for c in children.drain(..) {
+            if acc.admits(c.bound) {
+                pq.push(PqNode {
+                    bound: c.bound,
+                    id: ex.node_id(&c.node),
+                    node: c.node,
+                });
+            }
+        }
+    }
+    let hits = acc.into_sorted_hits();
+    if clamped {
+        return Ok((
+            QueryOutcome::degraded(hits, DegradeReason::BudgetExhausted),
+            io,
+        ));
+    }
+    Ok((QueryOutcome::Complete(hits), io))
+}
+
+// ---------------------------------------------------------------------
+// Streaming kNN cursor (distance browsing)
+// ---------------------------------------------------------------------
+
+/// One priority-queue entry of the cursor: either an unexpanded node
+/// (keyed by its squared lower bound) or a discovered object (keyed by
+/// its exact squared distance). At equal keys nodes sort before objects,
+/// so an object is only yielded once every node that could hide a
+/// same-distance, smaller-oid object has been expanded — this is what
+/// makes cursor prefixes equal batch results under exact distance ties.
+struct CursorEntry<R> {
+    key: f64,
+    /// 0 = node, 1 = object (nodes first at equal keys).
+    rank: u8,
+    /// Page id for nodes, oid for objects.
+    id: u64,
+    node: Option<R>,
+}
+
+impl<R> PartialEq for CursorEntry<R> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.rank == other.rank && self.id == other.id
+    }
+}
+impl<R> Eq for CursorEntry<R> {}
+impl<R> PartialOrd for CursorEntry<R> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<R> Ord for CursorEntry<R> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for min-heap behavior on (key, rank, id).
+        other
+            .key
+            .total_cmp(&self.key)
+            .then(other.rank.cmp(&self.rank))
+            .then(other.id.cmp(&self.id))
+    }
+}
+
+/// [`EntrySink`] staging discovered objects with their exact squared
+/// distances; the cursor moves them onto its priority queue after the
+/// expansion returns. No early abandon: a cursor has no k.
+struct StageSink<'a> {
+    q: &'a Point,
+    metric: &'a dyn Metric,
+    staged: Vec<(u64, f64)>,
+}
+
+impl EntrySink for StageSink<'_> {
+    fn offer(&mut self, oid: u64, p: &Point) {
+        self.staged.push((oid, self.metric.distance_sq(self.q, p)));
+    }
+}
+
+/// Incremental k-nearest-neighbor cursor (Hjaltason–Samet distance
+/// browsing) over any [`NodeExpand`] engine: one priority queue holds
+/// both unexpanded nodes (by lower bound) and discovered objects (by
+/// exact distance); [`next`](Self::next) pops until an object surfaces.
+///
+/// Yields neighbors in ascending `(distance, oid)` order without a fixed
+/// `k` — pulling `n` results reads no more pages than a batch
+/// `knn_ctx(q, n, ..)` would, and the yield sequence is exactly the batch
+/// answer's prefix (see `tests/executor.rs`). Governance carries over:
+/// every page read is admitted by the [`QueryContext`]; a denied read or
+/// an exhausted `max_results` cap ends the stream with
+/// [`degrade_reason`](Self::degrade_reason) set. Hard storage failures
+/// also end the stream and are surfaced by [`take_error`](Self::take_error).
+pub struct KnnCursor<'m, E: NodeExpand> {
+    ex: E,
+    q: Point,
+    metric: &'m dyn Metric,
+    ctx: QueryContext,
+    pq: BinaryHeap<CursorEntry<E::Ref>>,
+    visited: HashSet<u64>,
+    io: IoStats,
+    yielded: usize,
+    stopped: Option<DegradeReason>,
+    error: Option<IndexError>,
+}
+
+impl<'m, E: NodeExpand> KnnCursor<'m, E> {
+    /// Opens a cursor positioned before the nearest neighbor.
+    pub fn new(ex: E, q: Point, metric: &'m dyn Metric, ctx: QueryContext) -> Self {
+        let pq = ex
+            .roots()
+            .into_iter()
+            .map(|r| CursorEntry {
+                key: 0.0,
+                rank: 0,
+                id: ex.node_id(&r),
+                node: Some(r),
+            })
+            .collect();
+        KnnCursor {
+            ex,
+            q,
+            metric,
+            ctx,
+            pq,
+            visited: HashSet::new(),
+            io: IoStats::default(),
+            yielded: 0,
+            stopped: None,
+            error: None,
+        }
+    }
+
+    /// The next neighbor in ascending `(distance, oid)` order, or `None`
+    /// when the index is exhausted, a governance limit stopped the stream
+    /// ([`degrade_reason`](Self::degrade_reason)), or a storage failure
+    /// occurred ([`take_error`](Self::take_error)).
+    #[allow(clippy::should_implement_trait)] // fallible, stateful next()
+    pub fn next(&mut self) -> Option<(u64, f64)> {
+        if self.stopped.is_some() || self.error.is_some() {
+            return None;
+        }
+        if let Some(cap) = self.ctx.max_results {
+            if self.yielded >= cap {
+                self.stopped = Some(DegradeReason::BudgetExhausted);
+                return None;
+            }
+        }
+        let dedup = self.ex.dedup_visits();
+        loop {
+            let entry = self.pq.pop()?;
+            let Some(node) = entry.node else {
+                self.yielded += 1;
+                return Some((entry.id, self.metric.distance_from_sq(entry.key)));
+            };
+            if dedup && !self.visited.insert(entry.id) {
+                continue;
+            }
+            let mut sink = StageSink {
+                q: &self.q,
+                metric: self.metric,
+                staged: Vec::new(),
+            };
+            let mut children: Vec<Child<E::Ref>> = Vec::new();
+            match self.ex.expand_near(
+                node,
+                NearQuery {
+                    q: &self.q,
+                    metric: self.metric,
+                },
+                &mut self.io,
+                &self.ctx,
+                &mut sink,
+                &mut children,
+            ) {
+                Ok(_) => {
+                    for (oid, d) in sink.staged {
+                        self.pq.push(CursorEntry {
+                            key: d,
+                            rank: 1,
+                            id: oid,
+                            node: None,
+                        });
+                    }
+                    for c in children {
+                        self.pq.push(CursorEntry {
+                            key: c.bound,
+                            rank: 0,
+                            id: self.ex.node_id(&c.node),
+                            node: Some(c.node),
+                        });
+                    }
+                }
+                Err(e) => {
+                    match e.interrupt() {
+                        Some(i) => self.stopped = Some(i.into()),
+                        None => self.error = Some(e),
+                    }
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// I/O incurred by this cursor so far.
+    pub fn io(&self) -> IoStats {
+        self.io
+    }
+
+    /// Why the stream degraded (stopped early), if it did.
+    pub fn degrade_reason(&self) -> Option<DegradeReason> {
+        self.stopped
+    }
+
+    /// Takes the hard storage failure that ended the stream, if any.
+    pub fn take_error(&mut self) -> Option<IndexError> {
+        self.error.take()
+    }
+}
+
+impl<E: NodeExpand> KnnStream for KnnCursor<'_, E> {
+    fn next(&mut self) -> Option<(u64, f64)> {
+        KnnCursor::next(self)
+    }
+
+    fn io(&self) -> IoStats {
+        KnnCursor::io(self)
+    }
+
+    fn degrade_reason(&self) -> Option<DegradeReason> {
+        KnnCursor::degrade_reason(self)
+    }
+
+    fn take_error(&mut self) -> Option<IndexError> {
+        KnnCursor::take_error(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyt_geom::L2;
+    use hyt_page::{Interrupt, PageError};
+
+    /// A leaf's lower bound and its `(oid, coords)` entries.
+    type MockLeaf = (f64, Vec<(u64, Vec<f32>)>);
+
+    /// A synthetic two-level engine: one root with `leaves` children,
+    /// each leaf holding points. `fail_at` trips an interrupt on the
+    /// n-th node visit to exercise settlement.
+    struct Mock {
+        leaves: Vec<MockLeaf>,
+        fail_at: Option<usize>,
+        visits: std::cell::Cell<usize>,
+    }
+
+    impl Mock {
+        fn admit(&self, io: &mut IoStats) -> IndexResult<()> {
+            let n = self.visits.get() + 1;
+            self.visits.set(n);
+            io.logical_reads += 1;
+            if self.fail_at == Some(n) {
+                return Err(IndexError::Storage(PageError::Interrupted(
+                    Interrupt::BudgetExhausted,
+                )));
+            }
+            Ok(())
+        }
+
+        fn points(&self, leaf: usize) -> Vec<(u64, Point)> {
+            self.leaves[leaf]
+                .1
+                .iter()
+                .map(|(oid, c)| (*oid, Point::new(c.clone())))
+                .collect()
+        }
+    }
+
+    impl NodeExpand for Mock {
+        type Ref = usize; // 0 = root, 1.. = leaf index + 1
+
+        fn node_id(&self, r: &usize) -> u64 {
+            *r as u64
+        }
+
+        fn roots(&self) -> Vec<usize> {
+            if self.leaves.is_empty() {
+                Vec::new()
+            } else {
+                vec![0]
+            }
+        }
+
+        fn expand_box(
+            &self,
+            r: usize,
+            rect: &Rect,
+            io: &mut IoStats,
+            _ctx: &QueryContext,
+            out: &mut Vec<u64>,
+            children: &mut Vec<usize>,
+        ) -> IndexResult<NodeKind> {
+            self.admit(io)?;
+            if r == 0 {
+                children.extend(1..=self.leaves.len());
+                return Ok(NodeKind::Index);
+            }
+            for (oid, p) in self.points(r - 1) {
+                if rect.contains_point(&p) {
+                    out.push(oid);
+                }
+            }
+            Ok(NodeKind::Leaf)
+        }
+
+        fn expand_range(
+            &self,
+            r: usize,
+            nq: NearQuery<'_>,
+            io: &mut IoStats,
+            ctx: &QueryContext,
+            sink: &mut dyn EntrySink,
+            children: &mut Vec<Child<usize>>,
+        ) -> IndexResult<NodeKind> {
+            self.expand_near(r, nq, io, ctx, sink, children)
+        }
+
+        fn expand_near(
+            &self,
+            r: usize,
+            _nq: NearQuery<'_>,
+            io: &mut IoStats,
+            _ctx: &QueryContext,
+            sink: &mut dyn EntrySink,
+            children: &mut Vec<Child<usize>>,
+        ) -> IndexResult<NodeKind> {
+            self.admit(io)?;
+            if r == 0 {
+                children.extend(self.leaves.iter().enumerate().map(|(i, (bound, _))| Child {
+                    bound: *bound,
+                    node: i + 1,
+                }));
+                return Ok(NodeKind::Index);
+            }
+            for (oid, p) in self.points(r - 1) {
+                sink.offer(oid, &p);
+            }
+            Ok(NodeKind::Leaf)
+        }
+    }
+
+    fn mock() -> Mock {
+        Mock {
+            // Bounds are exact min-dists from the origin query.
+            leaves: vec![
+                (0.0, vec![(1, vec![0.1, 0.0]), (2, vec![0.2, 0.0])]),
+                (0.25, vec![(3, vec![0.5, 0.0]), (4, vec![0.6, 0.0])]),
+                (4.0, vec![(5, vec![2.0, 0.0])]),
+            ],
+            fail_at: None,
+            visits: std::cell::Cell::new(0),
+        }
+    }
+
+    #[test]
+    fn knn_prunes_far_nodes_and_sorts_hits() {
+        let m = mock();
+        let q = Point::new(vec![0.0, 0.0]);
+        let (outcome, io) = run_knn(&m, &q, 3, &L2, QueryContext::unlimited()).unwrap();
+        let hits = outcome.into_results();
+        assert_eq!(
+            hits.iter().map(|(o, _)| *o).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        // Root + two near leaves; the far leaf (bound 4.0 > 0.5^2) is
+        // pruned without a read.
+        assert_eq!(io.logical_reads, 3);
+    }
+
+    #[test]
+    fn interrupt_settles_with_best_so_far() {
+        let mut m = mock();
+        m.fail_at = Some(3); // root, leaf 1 ok; leaf 2 denied
+        let q = Point::new(vec![0.0, 0.0]);
+        let (outcome, io) = run_knn(&m, &q, 3, &L2, QueryContext::unlimited()).unwrap();
+        assert_eq!(
+            outcome.degrade_reason(),
+            Some(DegradeReason::BudgetExhausted)
+        );
+        let hits = outcome.into_results();
+        assert_eq!(hits.iter().map(|(o, _)| *o).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(io.logical_reads, 3);
+    }
+
+    #[test]
+    fn box_query_caps_and_degrades() {
+        let m = mock();
+        let rect = Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let ctx = QueryContext::default().with_max_results(1);
+        let (outcome, _) = run_box_query(&m, &rect, &ctx).unwrap();
+        assert_eq!(
+            outcome.degrade_reason(),
+            Some(DegradeReason::BudgetExhausted)
+        );
+        // Depth-first pops the last-emitted child first: leaf 3 (empty in
+        // the box), then leaf 2, whose two hits overflow the cap of 1.
+        assert_eq!(outcome.into_results(), vec![3]);
+    }
+
+    #[test]
+    fn range_prunes_by_bound() {
+        let m = mock();
+        let q = Point::new(vec![0.0, 0.0]);
+        let (outcome, io) =
+            run_distance_range(&m, &q, 0.3, &L2, QueryContext::unlimited()).unwrap();
+        let mut oids = outcome.into_results();
+        oids.sort_unstable();
+        assert_eq!(oids, vec![1, 2]);
+        // Leaf 2 (bound 0.25 > 0.09) and leaf 3 pruned: root + leaf 1.
+        assert_eq!(io.logical_reads, 2);
+    }
+
+    #[test]
+    fn cursor_yields_batch_prefix_in_order() {
+        let m = mock();
+        let q = Point::new(vec![0.0, 0.0]);
+        let (batch, _) = run_knn(&m, &q, 5, &L2, QueryContext::unlimited()).unwrap();
+        let batch = batch.into_results();
+        let mut cur = KnnCursor::new(mock(), q, &L2, QueryContext::unlimited().clone());
+        let mut streamed = Vec::new();
+        while let Some(hit) = cur.next() {
+            streamed.push(hit);
+        }
+        assert_eq!(streamed, batch);
+        assert_eq!(cur.degrade_reason(), None);
+    }
+
+    #[test]
+    fn cursor_reports_result_cap() {
+        let q = Point::new(vec![0.0, 0.0]);
+        let ctx = QueryContext::default().with_max_results(2);
+        let mut cur = KnnCursor::new(mock(), q, &L2, ctx);
+        assert!(cur.next().is_some());
+        assert!(cur.next().is_some());
+        assert!(cur.next().is_none());
+        assert_eq!(cur.degrade_reason(), Some(DegradeReason::BudgetExhausted));
+    }
+
+    #[test]
+    fn empty_roots_complete_without_io() {
+        let m = Mock {
+            leaves: Vec::new(),
+            fail_at: None,
+            visits: std::cell::Cell::new(0),
+        };
+        let q = Point::new(vec![0.0, 0.0]);
+        let (outcome, io) = run_knn(&m, &q, 3, &L2, QueryContext::unlimited()).unwrap();
+        assert!(outcome.is_complete());
+        assert!(outcome.into_results().is_empty());
+        assert_eq!(io.logical_reads, 0);
+    }
+}

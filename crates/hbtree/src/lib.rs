@@ -30,10 +30,10 @@
 //! * per the paper's §4 footnote 2, distance-based queries are
 //!   unsupported.
 
+use hyt_exec::{Child, EntrySink, NearQuery, NodeExpand, NodeKind};
 use hyt_geom::{Coord, Metric, Point, Rect};
 use hyt_index::{
-    apply_result_cap, check_dim, settle_interrupt, DegradeReason, IndexError, IndexResult,
-    MultidimIndex, QueryContext, QueryOutcome, StructureStats,
+    check_dim, IndexError, IndexResult, MultidimIndex, QueryContext, QueryOutcome, StructureStats,
 };
 use hyt_page::{
     BufferPool, ByteReader, ByteWriter, IoStats, MemStorage, NodeCacheStats, PageError, PageId,
@@ -801,52 +801,6 @@ impl<S: Storage> HbTree<S> {
             }
         }
     }
-
-    /// Full traversal helper: every page overlapping `query`, visited
-    /// once (children, sibling redirects, and data redirects included).
-    /// Page reads are attributed to `io` and admitted by `ctx`, so an
-    /// interrupt is observed within one pool read; `visit` returning
-    /// `true` stops the traversal early.
-    fn for_each_overlapping<F>(
-        &self,
-        query: &Rect,
-        io: &mut IoStats,
-        ctx: &QueryContext,
-        mut visit: F,
-    ) -> IndexResult<()>
-    where
-        F: FnMut(&[(Point, u64)]) -> bool,
-    {
-        if self.len == 0 {
-            return Ok(());
-        }
-        let mut stack = vec![self.root];
-        let mut visited = HashSet::new();
-        while let Some(pid) = stack.pop() {
-            if !visited.insert(pid) {
-                continue;
-            }
-            let node = self.read_node_ctx(pid, io, ctx)?;
-            match &*node {
-                HbNode::Data { entries, redirects } => {
-                    if visit(entries) {
-                        return Ok(());
-                    }
-                    for r in redirects {
-                        if r.constraints.iter().all(|c| c.admits_box(query)) {
-                            stack.push(r.target);
-                        }
-                    }
-                }
-                HbNode::Index { kd, .. } => {
-                    let mut pages = Vec::new();
-                    kd.collect_box(query, &mut pages);
-                    stack.extend(pages);
-                }
-            }
-        }
-        Ok(())
-    }
 }
 
 fn patch_invalid_sibling(kd: &mut Kd, new_pid: PageId) -> bool {
@@ -859,6 +813,99 @@ fn patch_invalid_sibling(kd: &mut Kd, new_pid: PageId) -> bool {
         Kd::Internal { left, right, .. } => {
             patch_invalid_sibling(left, new_pid) || patch_invalid_sibling(right, new_pid)
         }
+    }
+}
+
+/// [`NodeExpand`] adapter for the hB-tree's box search. Two things set
+/// it apart from the other engines: the redirect graph means the same
+/// page is reachable along several paths (`dedup_visits`), and a data
+/// page's admitted redirects hide how much work remains, so a result
+/// cap must conservatively assume more (`opaque_remaining_work`).
+struct HbExpand<'t, S: Storage> {
+    tree: &'t HbTree<S>,
+}
+
+impl<S: Storage> NodeExpand for HbExpand<'_, S> {
+    type Ref = PageId;
+
+    fn node_id(&self, r: &PageId) -> u64 {
+        u64::from(r.0)
+    }
+
+    fn roots(&self) -> Vec<PageId> {
+        if self.tree.len == 0 {
+            return Vec::new();
+        }
+        vec![self.tree.root]
+    }
+
+    fn dedup_visits(&self) -> bool {
+        true
+    }
+
+    fn opaque_remaining_work(&self) -> bool {
+        true
+    }
+
+    fn expand_box(
+        &self,
+        pid: PageId,
+        rect: &Rect,
+        io: &mut IoStats,
+        ctx: &QueryContext,
+        out: &mut Vec<u64>,
+        children: &mut Vec<PageId>,
+    ) -> IndexResult<NodeKind> {
+        let node = self.tree.read_node_ctx(pid, io, ctx)?;
+        match &*node {
+            HbNode::Data { entries, redirects } => {
+                out.extend(
+                    entries
+                        .iter()
+                        .filter(|(p, _)| rect.contains_point(p))
+                        .map(|(_, oid)| *oid),
+                );
+                children.extend(
+                    redirects
+                        .iter()
+                        .filter(|r| r.constraints.iter().all(|c| c.admits_box(rect)))
+                        .map(|r| r.target),
+                );
+                Ok(NodeKind::Leaf)
+            }
+            HbNode::Index { kd, .. } => {
+                kd.collect_box(rect, children);
+                Ok(NodeKind::Index)
+            }
+        }
+    }
+
+    fn expand_range(
+        &self,
+        _r: PageId,
+        _nq: NearQuery<'_>,
+        _io: &mut IoStats,
+        _ctx: &QueryContext,
+        _sink: &mut dyn EntrySink,
+        _children: &mut Vec<Child<PageId>>,
+    ) -> IndexResult<NodeKind> {
+        Err(IndexError::Unsupported(
+            "hB-tree does not support distance-based search (paper §4)",
+        ))
+    }
+
+    fn expand_near(
+        &self,
+        _r: PageId,
+        _nq: NearQuery<'_>,
+        _io: &mut IoStats,
+        _ctx: &QueryContext,
+        _sink: &mut dyn EntrySink,
+        _children: &mut Vec<Child<PageId>>,
+    ) -> IndexResult<NodeKind> {
+        Err(IndexError::Unsupported(
+            "hB-tree does not support distance-based search (paper §4)",
+        ))
     }
 }
 
@@ -988,31 +1035,7 @@ impl<S: Storage> MultidimIndex for HbTree<S> {
         ctx: &QueryContext,
     ) -> IndexResult<(QueryOutcome<Vec<u64>>, IoStats)> {
         check_dim(self.dim, rect.dim())?;
-        let mut out = Vec::new();
-        let mut io = IoStats::default();
-        let mut capped = false;
-        let walk = self.for_each_overlapping(rect, &mut io, ctx, |entries| {
-            out.extend(
-                entries
-                    .iter()
-                    .filter(|(p, _)| rect.contains_point(p))
-                    .map(|(_, oid)| *oid),
-            );
-            // The redirect graph hides how much work remains, so landing
-            // exactly on the cap conservatively stops and degrades.
-            capped = apply_result_cap(ctx, &mut out, true);
-            capped
-        });
-        if let Err(e) = walk {
-            return settle_interrupt(e, out, io);
-        }
-        if capped {
-            return Ok((
-                QueryOutcome::degraded(out, DegradeReason::BudgetExhausted),
-                io,
-            ));
-        }
-        Ok((QueryOutcome::Complete(out), io))
+        hyt_exec::run_box_query(&HbExpand { tree: self }, rect, ctx)
     }
 
     fn distance_range_ctx(
@@ -1036,6 +1059,17 @@ impl<S: Storage> MultidimIndex for HbTree<S> {
         _metric: &dyn Metric,
         _ctx: &QueryContext,
     ) -> IndexResult<(QueryOutcome<Vec<(u64, f64)>>, IoStats)> {
+        Err(IndexError::Unsupported(
+            "hB-tree does not support distance-based search (paper §4)",
+        ))
+    }
+
+    fn knn_stream<'a>(
+        &'a self,
+        _q: &Point,
+        _metric: &'a dyn Metric,
+        _ctx: &QueryContext,
+    ) -> IndexResult<Box<dyn hyt_index::KnnStream + 'a>> {
         Err(IndexError::Unsupported(
             "hB-tree does not support distance-based search (paper §4)",
         ))

@@ -229,6 +229,37 @@ pub fn settle_interrupt<T>(
     }
 }
 
+/// An open incremental k-nearest-neighbor stream (distance browsing):
+/// neighbors surface one at a time in ascending `(distance, oid)` order,
+/// without committing to a `k` up front. Obtained from
+/// [`MultidimIndex::knn_stream`]; the concrete implementation is the
+/// `hyt-exec` crate's `KnnCursor`, shared by every engine that supports
+/// distance-based search.
+///
+/// Governance carries over from the batch path: every page read is
+/// admitted by the stream's [`QueryContext`], and a triggered limit ends
+/// the stream with [`degrade_reason`](Self::degrade_reason) set instead
+/// of surfacing an error. Pulling `n` results reads no more pages than a
+/// batch `knn_ctx(q, n, ..)` would, and the yielded sequence is exactly
+/// that batch answer's prefix.
+pub trait KnnStream {
+    /// The next neighbor in ascending `(distance, oid)` order, or `None`
+    /// when the index is exhausted, a governance limit stopped the
+    /// stream, or a storage failure occurred.
+    fn next(&mut self) -> Option<(u64, f64)>;
+
+    /// I/O incurred by this stream so far.
+    fn io(&self) -> IoStats;
+
+    /// Why the stream stopped early, if a governance limit ended it.
+    fn degrade_reason(&self) -> Option<DegradeReason>;
+
+    /// Takes the hard storage failure that ended the stream, if any
+    /// (`next` returning `None` with no degrade reason and no error means
+    /// the index is simply exhausted).
+    fn take_error(&mut self) -> Option<IndexError>;
+}
+
 /// Structural properties of a built index, for Table 1 / Table 2 style
 /// comparisons and for the ablation benches.
 #[derive(Clone, Debug, Default)]
@@ -382,6 +413,24 @@ pub trait MultidimIndex: Send + Sync {
         metric: &dyn Metric,
         ctx: &QueryContext,
     ) -> IndexResult<(QueryOutcome<Vec<(u64, f64)>>, IoStats)>;
+
+    /// Opens an incremental kNN stream (see [`KnnStream`]): neighbors are
+    /// pulled one at a time in ascending `(distance, oid)` order, under
+    /// the same governance as the batch path (`ctx.max_results` caps the
+    /// number of yields). Engines without distance-based search — and any
+    /// future engine that has not opted in — return
+    /// [`IndexError::Unsupported`].
+    fn knn_stream<'a>(
+        &'a self,
+        q: &Point,
+        metric: &'a dyn Metric,
+        ctx: &QueryContext,
+    ) -> IndexResult<Box<dyn KnnStream + 'a>> {
+        let _ = (q, metric, ctx);
+        Err(IndexError::Unsupported(
+            "streaming kNN is not supported by this engine",
+        ))
+    }
 
     /// Pool-global I/O counters accumulated since the last reset.
     fn io_stats(&self) -> IoStats;

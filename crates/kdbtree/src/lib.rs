@@ -22,17 +22,17 @@
 //! Split convention: a split at `pos` sends `x < pos` left and `x >= pos`
 //! right, everywhere, so clean partitions stay clean under cascades.
 
-use hyt_geom::{range_bound_sq, Coord, Metric, Point, Rect};
+use hyt_exec::{Child, EntrySink, KnnCursor, NearQuery, NodeExpand, NodeKind};
+use hyt_geom::{Coord, Metric, Point, Rect};
 use hyt_index::{
-    apply_result_cap, check_dim, settle_interrupt, DegradeReason, IndexError, IndexResult,
-    MultidimIndex, QueryContext, QueryOutcome, StructureStats,
+    check_dim, IndexError, IndexResult, KnnStream, MultidimIndex, QueryContext, QueryOutcome,
+    StructureStats,
 };
 use hyt_page::{
     BufferPool, ByteReader, ByteWriter, IoStats, MemStorage, NodeCacheStats, PageError, PageId,
     PageResult, Storage, DEFAULT_PAGE_SIZE,
 };
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 const TAG_DATA: u8 = 0;
@@ -700,38 +700,97 @@ impl<S: Storage> KdbTree<S> {
     }
 }
 
-/// Best-first queue entry; `dist` is in comparator (squared) space.
-struct PqNode {
-    dist: f64,
-    pid: PageId,
-    region: Rect,
-}
-impl PartialEq for PqNode {
-    fn eq(&self, other: &Self) -> bool {
-        self.dist == other.dist && self.pid == other.pid
-    }
-}
-impl Eq for PqNode {}
-impl PartialOrd for PqNode {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for PqNode {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .dist
-            .total_cmp(&self.dist)
-            .then(other.pid.cmp(&self.pid))
-    }
+/// [`NodeExpand`] adapter for the kDB-tree. Regions are not stored on
+/// disk — each node's subspace is reconstructed from the split
+/// hyperplanes on the way down, so the node reference carries the page
+/// id together with its (clean, disjoint) region.
+struct KdbExpand<'t, S: Storage> {
+    tree: &'t KdbTree<S>,
 }
 
-/// Converts a comparator-space best-k list to actual distances — the
-/// single per-result root of the hot path.
-fn finish_hits(best: Vec<(u64, f64)>, metric: &dyn Metric) -> Vec<(u64, f64)> {
-    best.into_iter()
-        .map(|(oid, c)| (oid, metric.distance_from_sq(c)))
-        .collect()
+impl<S: Storage> NodeExpand for KdbExpand<'_, S> {
+    type Ref = (PageId, Rect);
+
+    fn node_id(&self, r: &(PageId, Rect)) -> u64 {
+        u64::from(r.0 .0)
+    }
+
+    fn roots(&self) -> Vec<(PageId, Rect)> {
+        if self.tree.len == 0 {
+            return Vec::new();
+        }
+        vec![(self.tree.root, self.tree.root_region())]
+    }
+
+    fn expand_box(
+        &self,
+        (pid, region): (PageId, Rect),
+        rect: &Rect,
+        io: &mut IoStats,
+        ctx: &QueryContext,
+        out: &mut Vec<u64>,
+        children: &mut Vec<(PageId, Rect)>,
+    ) -> IndexResult<NodeKind> {
+        let node = self.tree.read_node_ctx(pid, io, ctx)?;
+        match &*node {
+            KdbNode::Data(entries) => {
+                out.extend(
+                    entries
+                        .iter()
+                        .filter(|(p, _)| rect.contains_point(p))
+                        .map(|(_, oid)| *oid),
+                );
+                Ok(NodeKind::Leaf)
+            }
+            KdbNode::Index { kd, .. } => {
+                let mut kids = Vec::new();
+                kd.children_with_regions(&region, &mut kids);
+                children.extend(kids.into_iter().filter(|(_, creg)| creg.intersects(rect)));
+                Ok(NodeKind::Index)
+            }
+        }
+    }
+
+    fn expand_range(
+        &self,
+        r: (PageId, Rect),
+        nq: NearQuery<'_>,
+        io: &mut IoStats,
+        ctx: &QueryContext,
+        sink: &mut dyn EntrySink,
+        children: &mut Vec<Child<(PageId, Rect)>>,
+    ) -> IndexResult<NodeKind> {
+        self.expand_near(r, nq, io, ctx, sink, children)
+    }
+
+    fn expand_near(
+        &self,
+        (pid, region): (PageId, Rect),
+        nq: NearQuery<'_>,
+        io: &mut IoStats,
+        ctx: &QueryContext,
+        sink: &mut dyn EntrySink,
+        children: &mut Vec<Child<(PageId, Rect)>>,
+    ) -> IndexResult<NodeKind> {
+        let node = self.tree.read_node_ctx(pid, io, ctx)?;
+        match &*node {
+            KdbNode::Data(entries) => {
+                for (p, oid) in entries {
+                    sink.offer(*oid, p);
+                }
+                Ok(NodeKind::Leaf)
+            }
+            KdbNode::Index { kd, .. } => {
+                let mut kids = Vec::new();
+                kd.children_with_regions(&region, &mut kids);
+                children.extend(kids.into_iter().map(|(child, creg)| Child {
+                    bound: nq.metric.min_dist_rect_sq(nq.q, &creg),
+                    node: (child, creg),
+                }));
+                Ok(NodeKind::Index)
+            }
+        }
+    }
 }
 
 impl<S: Storage> MultidimIndex for KdbTree<S> {
@@ -817,44 +876,7 @@ impl<S: Storage> MultidimIndex for KdbTree<S> {
         ctx: &QueryContext,
     ) -> IndexResult<(QueryOutcome<Vec<u64>>, IoStats)> {
         check_dim(self.dim, rect.dim())?;
-        let mut io = IoStats::default();
-        if self.len == 0 {
-            return Ok((QueryOutcome::Complete(Vec::new()), io));
-        }
-        let mut out = Vec::new();
-        let mut stack = vec![(self.root, self.root_region())];
-        while let Some((pid, region)) = stack.pop() {
-            let node = match self.read_node_ctx(pid, &mut io, ctx) {
-                Err(e) => return settle_interrupt(e, out, io),
-                Ok(node) => node,
-            };
-            match &*node {
-                KdbNode::Data(entries) => {
-                    out.extend(
-                        entries
-                            .iter()
-                            .filter(|(p, _)| rect.contains_point(p))
-                            .map(|(_, oid)| *oid),
-                    );
-                    if apply_result_cap(ctx, &mut out, !stack.is_empty()) {
-                        return Ok((
-                            QueryOutcome::degraded(out, DegradeReason::BudgetExhausted),
-                            io,
-                        ));
-                    }
-                }
-                KdbNode::Index { kd, .. } => {
-                    let mut kids = Vec::new();
-                    kd.children_with_regions(&region, &mut kids);
-                    for (child, creg) in kids {
-                        if creg.intersects(rect) {
-                            stack.push((child, creg));
-                        }
-                    }
-                }
-            }
-        }
-        Ok((QueryOutcome::Complete(out), io))
+        hyt_exec::run_box_query(&KdbExpand { tree: self }, rect, ctx)
     }
 
     fn distance_range_ctx(
@@ -865,46 +887,7 @@ impl<S: Storage> MultidimIndex for KdbTree<S> {
         ctx: &QueryContext,
     ) -> IndexResult<(QueryOutcome<Vec<u64>>, IoStats)> {
         check_dim(self.dim, q.dim())?;
-        let mut io = IoStats::default();
-        if self.len == 0 {
-            return Ok((QueryOutcome::Complete(Vec::new()), io));
-        }
-        let bound_sq = range_bound_sq(metric, radius);
-        let mut out = Vec::new();
-        let mut stack = vec![(self.root, self.root_region())];
-        while let Some((pid, region)) = stack.pop() {
-            let node = match self.read_node_ctx(pid, &mut io, ctx) {
-                Err(e) => return settle_interrupt(e, out, io),
-                Ok(node) => node,
-            };
-            match &*node {
-                KdbNode::Data(entries) => {
-                    for (p, oid) in entries {
-                        if let Some(c) = metric.distance_sq_within(q, p, bound_sq) {
-                            if metric.distance_from_sq(c) <= radius {
-                                out.push(*oid);
-                            }
-                        }
-                    }
-                    if apply_result_cap(ctx, &mut out, !stack.is_empty()) {
-                        return Ok((
-                            QueryOutcome::degraded(out, DegradeReason::BudgetExhausted),
-                            io,
-                        ));
-                    }
-                }
-                KdbNode::Index { kd, .. } => {
-                    let mut kids = Vec::new();
-                    kd.children_with_regions(&region, &mut kids);
-                    for (child, creg) in kids {
-                        if metric.min_dist_rect_sq(q, &creg) <= bound_sq {
-                            stack.push((child, creg));
-                        }
-                    }
-                }
-            }
-        }
-        Ok((QueryOutcome::Complete(out), io))
+        hyt_exec::run_distance_range(&KdbExpand { tree: self }, q, radius, metric, ctx)
     }
 
     fn knn_ctx(
@@ -915,73 +898,22 @@ impl<S: Storage> MultidimIndex for KdbTree<S> {
         ctx: &QueryContext,
     ) -> IndexResult<(QueryOutcome<Vec<(u64, f64)>>, IoStats)> {
         check_dim(self.dim, q.dim())?;
-        let mut io = IoStats::default();
-        let clamped = ctx.max_results.is_some_and(|m| m < k);
-        let k = ctx.max_results.map_or(k, |m| k.min(m));
-        if k == 0 || self.len == 0 {
-            return Ok((QueryOutcome::Complete(Vec::new()), io));
-        }
-        let mut pq = BinaryHeap::new();
-        // (oid, comparator-space dist) kept in a simple sorted vec
-        // (k is small); converted to actual distances on the way out.
-        let mut best: Vec<(u64, f64)> = Vec::new();
-        pq.push(PqNode {
-            dist: 0.0,
-            pid: self.root,
-            region: self.root_region(),
-        });
-        while let Some(item) = pq.pop() {
-            if best.len() == k && item.dist > best.last().unwrap().1 {
-                break;
-            }
-            let node = match self.read_node_ctx(item.pid, &mut io, ctx) {
-                Err(e) => return settle_interrupt(e, finish_hits(best, metric), io),
-                Ok(node) => node,
-            };
-            match &*node {
-                KdbNode::Data(entries) => {
-                    for (p, oid) in entries {
-                        let worst = if best.len() < k {
-                            f64::INFINITY
-                        } else {
-                            best.last().unwrap().1
-                        };
-                        if let Some(c) = metric.distance_sq_within(q, p, worst) {
-                            if best.len() < k {
-                                best.push((*oid, c));
-                                best.sort_by(|a, b| a.1.total_cmp(&b.1));
-                            } else if c < best.last().unwrap().1 {
-                                best.pop();
-                                best.push((*oid, c));
-                                best.sort_by(|a, b| a.1.total_cmp(&b.1));
-                            }
-                        }
-                    }
-                }
-                KdbNode::Index { kd, .. } => {
-                    let mut kids = Vec::new();
-                    kd.children_with_regions(&item.region, &mut kids);
-                    for (child, creg) in kids {
-                        let c = metric.min_dist_rect_sq(q, &creg);
-                        if best.len() < k || c <= best.last().unwrap().1 {
-                            pq.push(PqNode {
-                                dist: c,
-                                pid: child,
-                                region: creg,
-                            });
-                        }
-                    }
-                }
-            }
-        }
-        let hits = finish_hits(best, metric);
-        if clamped {
-            return Ok((
-                QueryOutcome::degraded(hits, DegradeReason::BudgetExhausted),
-                io,
-            ));
-        }
-        Ok((QueryOutcome::Complete(hits), io))
+        hyt_exec::run_knn(&KdbExpand { tree: self }, q, k, metric, ctx)
+    }
+
+    fn knn_stream<'a>(
+        &'a self,
+        q: &Point,
+        metric: &'a dyn Metric,
+        ctx: &QueryContext,
+    ) -> IndexResult<Box<dyn KnnStream + 'a>> {
+        check_dim(self.dim, q.dim())?;
+        Ok(Box::new(KnnCursor::new(
+            KdbExpand { tree: self },
+            q.clone(),
+            metric,
+            ctx.clone(),
+        )))
     }
 
     fn io_stats(&self) -> IoStats {

@@ -7,10 +7,10 @@
 //! by reading the whole file through the buffer pool's *sequential* path,
 //! which the paper's cost model discounts 10x relative to random accesses.
 
-use hyt_geom::{range_bound_sq, Metric, Point, Rect};
+use hyt_exec::{Child, EntrySink, KnnCursor, NearQuery, NodeExpand, NodeKind};
+use hyt_geom::{Metric, Point, Rect};
 use hyt_index::{
-    apply_result_cap, check_dim, settle_interrupt, DegradeReason, IndexResult, MultidimIndex,
-    QueryContext, QueryOutcome, StructureStats,
+    check_dim, IndexResult, KnnStream, MultidimIndex, QueryContext, QueryOutcome, StructureStats,
 };
 use hyt_page::{
     BufferPool, ByteReader, ByteWriter, IoStats, MemStorage, NodeCacheStats, PageId, Storage,
@@ -127,30 +127,88 @@ impl<S: Storage> SeqScan<S> {
         w.into_inner()
     }
 
-    /// Runs `visit` over every page's entries in file order. Page reads
-    /// go through the sequential path, are attributed to `io`, and are
-    /// admitted by `ctx`, so an interrupt lands within one pool read.
-    /// `visit` receives `(entries, more_pages_remain)` and returns `true`
-    /// to stop the scan early.
-    fn scan_pages_ctx<F>(
+    /// Decoded entries of one page via the sequential read path: the
+    /// read is attributed to `io` as a sequential access (the paper's
+    /// cost model discounts it 10x) and admitted by `ctx`, so an
+    /// interrupt lands within one pool read.
+    fn read_page_ctx(
         &self,
+        pid: PageId,
         io: &mut IoStats,
         ctx: &QueryContext,
-        mut visit: F,
-    ) -> IndexResult<()>
-    where
-        F: FnMut(&[(Point, u64)], bool) -> bool,
-    {
-        let last = self.pages.len().saturating_sub(1);
-        for (i, &pid) in self.pages.iter().enumerate() {
-            let entries = self
-                .pool
-                .read_decoded_sequential_ctx(pid, io, ctx, |buf| self.decode_page(buf))?;
-            if visit(&entries, i < last) {
-                return Ok(());
-            }
+    ) -> IndexResult<std::sync::Arc<Vec<(Point, u64)>>> {
+        self.pool
+            .read_decoded_sequential_ctx(pid, io, ctx, |buf| self.decode_page(buf))
+    }
+}
+
+/// [`NodeExpand`] adapter for the sequential scan: a one-level "tree"
+/// whose roots are every data page in file order. All expansions are
+/// leaves with no children, so the kernel's drivers degenerate to a
+/// page-order walk (box/range; `more_work` = pages left on the stack)
+/// and to an everything-at-bound-zero best-first pass (kNN) that reads
+/// the whole file before the accumulator can close — exactly the scan
+/// semantics the paper normalizes against.
+struct ScanExpand<'t, S: Storage> {
+    tree: &'t SeqScan<S>,
+}
+
+impl<S: Storage> NodeExpand for ScanExpand<'_, S> {
+    type Ref = PageId;
+
+    fn node_id(&self, r: &PageId) -> u64 {
+        u64::from(r.0)
+    }
+
+    fn roots(&self) -> Vec<PageId> {
+        self.tree.pages.clone()
+    }
+
+    fn expand_box(
+        &self,
+        pid: PageId,
+        rect: &Rect,
+        io: &mut IoStats,
+        ctx: &QueryContext,
+        out: &mut Vec<u64>,
+        _children: &mut Vec<PageId>,
+    ) -> IndexResult<NodeKind> {
+        let entries = self.tree.read_page_ctx(pid, io, ctx)?;
+        out.extend(
+            entries
+                .iter()
+                .filter(|(p, _)| rect.contains_point(p))
+                .map(|(_, oid)| *oid),
+        );
+        Ok(NodeKind::Leaf)
+    }
+
+    fn expand_range(
+        &self,
+        pid: PageId,
+        nq: NearQuery<'_>,
+        io: &mut IoStats,
+        ctx: &QueryContext,
+        sink: &mut dyn EntrySink,
+        children: &mut Vec<Child<PageId>>,
+    ) -> IndexResult<NodeKind> {
+        self.expand_near(pid, nq, io, ctx, sink, children)
+    }
+
+    fn expand_near(
+        &self,
+        pid: PageId,
+        _nq: NearQuery<'_>,
+        io: &mut IoStats,
+        ctx: &QueryContext,
+        sink: &mut dyn EntrySink,
+        _children: &mut Vec<Child<PageId>>,
+    ) -> IndexResult<NodeKind> {
+        let entries = self.tree.read_page_ctx(pid, io, ctx)?;
+        for (p, oid) in entries.iter() {
+            sink.offer(*oid, p);
         }
-        Ok(())
+        Ok(NodeKind::Leaf)
     }
 }
 
@@ -220,29 +278,7 @@ impl<S: Storage> MultidimIndex for SeqScan<S> {
         ctx: &QueryContext,
     ) -> IndexResult<(QueryOutcome<Vec<u64>>, IoStats)> {
         check_dim(self.dim, rect.dim())?;
-        let mut out = Vec::new();
-        let mut io = IoStats::default();
-        let mut capped = false;
-        let walk = self.scan_pages_ctx(&mut io, ctx, |entries, more| {
-            out.extend(
-                entries
-                    .iter()
-                    .filter(|(p, _)| rect.contains_point(p))
-                    .map(|(_, oid)| *oid),
-            );
-            capped = apply_result_cap(ctx, &mut out, more);
-            capped
-        });
-        if let Err(e) = walk {
-            return settle_interrupt(e, out, io);
-        }
-        if capped {
-            return Ok((
-                QueryOutcome::degraded(out, DegradeReason::BudgetExhausted),
-                io,
-            ));
-        }
-        Ok((QueryOutcome::Complete(out), io))
+        hyt_exec::run_box_query(&ScanExpand { tree: self }, rect, ctx)
     }
 
     fn distance_range_ctx(
@@ -253,31 +289,7 @@ impl<S: Storage> MultidimIndex for SeqScan<S> {
         ctx: &QueryContext,
     ) -> IndexResult<(QueryOutcome<Vec<u64>>, IoStats)> {
         check_dim(self.dim, q.dim())?;
-        let bound_sq = range_bound_sq(metric, radius);
-        let mut out = Vec::new();
-        let mut io = IoStats::default();
-        let mut capped = false;
-        let walk = self.scan_pages_ctx(&mut io, ctx, |entries, more| {
-            for (p, oid) in entries {
-                if let Some(c) = metric.distance_sq_within(q, p, bound_sq) {
-                    if metric.distance_from_sq(c) <= radius {
-                        out.push(*oid);
-                    }
-                }
-            }
-            capped = apply_result_cap(ctx, &mut out, more);
-            capped
-        });
-        if let Err(e) = walk {
-            return settle_interrupt(e, out, io);
-        }
-        if capped {
-            return Ok((
-                QueryOutcome::degraded(out, DegradeReason::BudgetExhausted),
-                io,
-            ));
-        }
-        Ok((QueryOutcome::Complete(out), io))
+        hyt_exec::run_distance_range(&ScanExpand { tree: self }, q, radius, metric, ctx)
     }
 
     fn knn_ctx(
@@ -288,40 +300,22 @@ impl<S: Storage> MultidimIndex for SeqScan<S> {
         ctx: &QueryContext,
     ) -> IndexResult<(QueryOutcome<Vec<(u64, f64)>>, IoStats)> {
         check_dim(self.dim, q.dim())?;
-        let mut io = IoStats::default();
-        let clamped = ctx.max_results.is_some_and(|m| m < k);
-        let k = ctx.max_results.map_or(k, |m| k.min(m));
-        if k == 0 {
-            return Ok((QueryOutcome::Complete(Vec::new()), io));
-        }
-        // Comparator-space candidates; sorting by squared distance gives
-        // the same order as by distance (sqrt is monotone), with oid
-        // tie-breaks applied in the same space.
-        let mut hits: Vec<(u64, f64)> = Vec::new();
-        let walk = self.scan_pages_ctx(&mut io, ctx, |entries, _| {
-            for (p, oid) in entries {
-                hits.push((*oid, metric.distance_sq(q, p)));
-            }
-            false
-        });
-        hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-        hits.truncate(k);
-        let hits: Vec<(u64, f64)> = hits
-            .into_iter()
-            .map(|(oid, c)| (oid, metric.distance_from_sq(c)))
-            .collect();
-        if let Err(e) = walk {
-            // Best candidates from the pages scanned so far — a scan kNN
-            // has no distance bound until the file is exhausted.
-            return settle_interrupt(e, hits, io);
-        }
-        if clamped {
-            return Ok((
-                QueryOutcome::degraded(hits, DegradeReason::BudgetExhausted),
-                io,
-            ));
-        }
-        Ok((QueryOutcome::Complete(hits), io))
+        hyt_exec::run_knn(&ScanExpand { tree: self }, q, k, metric, ctx)
+    }
+
+    fn knn_stream<'a>(
+        &'a self,
+        q: &Point,
+        metric: &'a dyn Metric,
+        ctx: &QueryContext,
+    ) -> IndexResult<Box<dyn KnnStream + 'a>> {
+        check_dim(self.dim, q.dim())?;
+        Ok(Box::new(KnnCursor::new(
+            ScanExpand { tree: self },
+            q.clone(),
+            metric,
+            ctx.clone(),
+        )))
     }
 
     fn io_stats(&self) -> IoStats {

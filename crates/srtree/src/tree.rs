@@ -1,16 +1,15 @@
 //! SR-tree operations.
 
 use crate::node::{data_capacity, index_capacity, ChildEntry, SrNode};
-use hyt_geom::{range_bound_sq, Metric, Point, Rect, L2};
+use hyt_exec::{Child, EntrySink, KnnCursor, NearQuery, NodeExpand, NodeKind};
+use hyt_geom::{Metric, Point, Rect, L2};
 use hyt_index::{
-    apply_result_cap, check_dim, settle_interrupt, DegradeReason, IndexError, IndexResult,
-    MultidimIndex, QueryContext, QueryOutcome, StructureStats,
+    check_dim, IndexError, IndexResult, KnnStream, MultidimIndex, QueryContext, QueryOutcome,
+    StructureStats,
 };
 use hyt_page::{
     BufferPool, IoStats, MemStorage, NodeCacheStats, PageId, Storage, DEFAULT_PAGE_SIZE,
 };
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// Construction parameters of an [`SrTree`].
@@ -506,66 +505,98 @@ fn best_variance_split(vals: &[f64], m: usize) -> usize {
     best_j
 }
 
-/// Best-first queue entry; `dist` is in comparator (squared) space.
-struct PqNode {
-    dist: f64,
-    pid: PageId,
-}
-impl PartialEq for PqNode {
-    fn eq(&self, other: &Self) -> bool {
-        self.dist == other.dist && self.pid == other.pid
-    }
-}
-impl Eq for PqNode {}
-impl PartialOrd for PqNode {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for PqNode {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .dist
-            .total_cmp(&self.dist)
-            .then(other.pid.cmp(&self.pid))
-    }
+/// [`NodeExpand`] adapter: one SR-tree node reference is a page id; all
+/// reads go through the decoded-node path, and children are bounded by
+/// the sphere-and-rectangle `min_dist_entry_sq`.
+struct SrExpand<'t, S: Storage> {
+    tree: &'t SrTree<S>,
 }
 
-/// Best-k max-heap entry; `dist` is in comparator (squared) space.
-struct HeapHit {
-    dist: f64,
-    oid: u64,
-}
-impl PartialEq for HeapHit {
-    fn eq(&self, other: &Self) -> bool {
-        self.dist == other.dist && self.oid == other.oid
-    }
-}
-impl Eq for HeapHit {}
-impl PartialOrd for HeapHit {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapHit {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.dist
-            .total_cmp(&other.dist)
-            .then(self.oid.cmp(&other.oid))
-    }
-}
+impl<S: Storage> NodeExpand for SrExpand<'_, S> {
+    type Ref = PageId;
 
-/// Drains a kNN candidate heap into `(oid, dist)` pairs sorted by
-/// ascending distance (ties by oid); also the best-so-far payload of an
-/// interrupted query. Converts comparator-space values back to actual
-/// distances — the single per-result root of the hot path.
-fn sorted_hits(best: BinaryHeap<HeapHit>, metric: &dyn Metric) -> Vec<(u64, f64)> {
-    let mut hits: Vec<(u64, f64)> = best
-        .into_iter()
-        .map(|h| (h.oid, metric.distance_from_sq(h.dist)))
-        .collect();
-    hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-    hits
+    fn node_id(&self, r: &PageId) -> u64 {
+        u64::from(r.0)
+    }
+
+    fn roots(&self) -> Vec<PageId> {
+        if self.tree.len == 0 {
+            Vec::new()
+        } else {
+            vec![self.tree.root]
+        }
+    }
+
+    fn expand_box(
+        &self,
+        pid: PageId,
+        rect: &Rect,
+        io: &mut IoStats,
+        ctx: &QueryContext,
+        out: &mut Vec<u64>,
+        children: &mut Vec<PageId>,
+    ) -> IndexResult<NodeKind> {
+        let node = self.tree.read_node_ctx(pid, io, ctx)?;
+        match &*node {
+            SrNode::Data(entries) => {
+                out.extend(
+                    entries
+                        .iter()
+                        .filter(|(p, _)| rect.contains_point(p))
+                        .map(|(_, oid)| *oid),
+                );
+                Ok(NodeKind::Leaf)
+            }
+            SrNode::Index { entries, .. } => {
+                children.extend(
+                    entries
+                        .iter()
+                        .filter(|e| e.rect.intersects(rect))
+                        .map(|e| e.pid),
+                );
+                Ok(NodeKind::Index)
+            }
+        }
+    }
+
+    fn expand_range(
+        &self,
+        pid: PageId,
+        nq: NearQuery<'_>,
+        io: &mut IoStats,
+        ctx: &QueryContext,
+        sink: &mut dyn EntrySink,
+        children: &mut Vec<Child<PageId>>,
+    ) -> IndexResult<NodeKind> {
+        self.expand_near(pid, nq, io, ctx, sink, children)
+    }
+
+    fn expand_near(
+        &self,
+        pid: PageId,
+        nq: NearQuery<'_>,
+        io: &mut IoStats,
+        ctx: &QueryContext,
+        sink: &mut dyn EntrySink,
+        children: &mut Vec<Child<PageId>>,
+    ) -> IndexResult<NodeKind> {
+        let node = self.tree.read_node_ctx(pid, io, ctx)?;
+        match &*node {
+            SrNode::Data(entries) => {
+                for (p, oid) in entries {
+                    sink.offer(*oid, p);
+                }
+                Ok(NodeKind::Leaf)
+            }
+            SrNode::Index { entries, .. } => {
+                children.extend(entries.iter().map(|e| Child {
+                    bound: self.tree.min_dist_entry_sq(nq.q, e, nq.metric),
+                    node: e.pid,
+                }));
+                Ok(NodeKind::Index)
+            }
+        }
+    }
 }
 
 impl<S: Storage> MultidimIndex for SrTree<S> {
@@ -623,43 +654,7 @@ impl<S: Storage> MultidimIndex for SrTree<S> {
         ctx: &QueryContext,
     ) -> IndexResult<(QueryOutcome<Vec<u64>>, IoStats)> {
         check_dim(self.dim, rect.dim())?;
-        let mut io = IoStats::default();
-        if self.len == 0 {
-            return Ok((QueryOutcome::Complete(Vec::new()), io));
-        }
-        let mut out = Vec::new();
-        let mut stack = vec![self.root];
-        while let Some(pid) = stack.pop() {
-            let node = match self.read_node_ctx(pid, &mut io, ctx) {
-                Err(e) => return settle_interrupt(e, out, io),
-                Ok(node) => node,
-            };
-            match &*node {
-                SrNode::Data(entries) => {
-                    out.extend(
-                        entries
-                            .iter()
-                            .filter(|(p, _)| rect.contains_point(p))
-                            .map(|(_, oid)| *oid),
-                    );
-                    if apply_result_cap(ctx, &mut out, !stack.is_empty()) {
-                        return Ok((
-                            QueryOutcome::degraded(out, DegradeReason::BudgetExhausted),
-                            io,
-                        ));
-                    }
-                }
-                SrNode::Index { entries, .. } => {
-                    stack.extend(
-                        entries
-                            .iter()
-                            .filter(|e| e.rect.intersects(rect))
-                            .map(|e| e.pid),
-                    );
-                }
-            }
-        }
-        Ok((QueryOutcome::Complete(out), io))
+        hyt_exec::run_box_query(&SrExpand { tree: self }, rect, ctx)
     }
 
     fn distance_range_ctx(
@@ -670,44 +665,7 @@ impl<S: Storage> MultidimIndex for SrTree<S> {
         ctx: &QueryContext,
     ) -> IndexResult<(QueryOutcome<Vec<u64>>, IoStats)> {
         check_dim(self.dim, q.dim())?;
-        let mut io = IoStats::default();
-        if self.len == 0 {
-            return Ok((QueryOutcome::Complete(Vec::new()), io));
-        }
-        let bound_sq = range_bound_sq(metric, radius);
-        let mut out = Vec::new();
-        let mut stack = vec![self.root];
-        while let Some(pid) = stack.pop() {
-            let node = match self.read_node_ctx(pid, &mut io, ctx) {
-                Err(e) => return settle_interrupt(e, out, io),
-                Ok(node) => node,
-            };
-            match &*node {
-                SrNode::Data(entries) => {
-                    for (p, oid) in entries {
-                        if let Some(c) = metric.distance_sq_within(q, p, bound_sq) {
-                            if metric.distance_from_sq(c) <= radius {
-                                out.push(*oid);
-                            }
-                        }
-                    }
-                    if apply_result_cap(ctx, &mut out, !stack.is_empty()) {
-                        return Ok((
-                            QueryOutcome::degraded(out, DegradeReason::BudgetExhausted),
-                            io,
-                        ));
-                    }
-                }
-                SrNode::Index { entries, .. } => {
-                    for e in entries {
-                        if self.min_dist_entry_sq(q, e, metric) <= bound_sq {
-                            stack.push(e.pid);
-                        }
-                    }
-                }
-            }
-        }
-        Ok((QueryOutcome::Complete(out), io))
+        hyt_exec::run_distance_range(&SrExpand { tree: self }, q, radius, metric, ctx)
     }
 
     fn knn_ctx(
@@ -718,65 +676,22 @@ impl<S: Storage> MultidimIndex for SrTree<S> {
         ctx: &QueryContext,
     ) -> IndexResult<(QueryOutcome<Vec<(u64, f64)>>, IoStats)> {
         check_dim(self.dim, q.dim())?;
-        let mut io = IoStats::default();
-        let clamped = ctx.max_results.is_some_and(|m| m < k);
-        let k = ctx.max_results.map_or(k, |m| k.min(m));
-        if k == 0 || self.len == 0 {
-            return Ok((QueryOutcome::Complete(Vec::new()), io));
-        }
-        let mut pq = BinaryHeap::new();
-        let mut best: BinaryHeap<HeapHit> = BinaryHeap::new();
-        pq.push(PqNode {
-            dist: 0.0,
-            pid: self.root,
-        });
-        while let Some(item) = pq.pop() {
-            if best.len() == k && item.dist > best.peek().unwrap().dist {
-                break;
-            }
-            let node = match self.read_node_ctx(item.pid, &mut io, ctx) {
-                Err(e) => return settle_interrupt(e, sorted_hits(best, metric), io),
-                Ok(node) => node,
-            };
-            match &*node {
-                SrNode::Data(entries) => {
-                    for (p, oid) in entries {
-                        let worst = if best.len() < k {
-                            f64::INFINITY
-                        } else {
-                            best.peek().unwrap().dist
-                        };
-                        if let Some(c) = metric.distance_sq_within(q, p, worst) {
-                            if best.len() < k {
-                                best.push(HeapHit { dist: c, oid: *oid });
-                            } else if c < best.peek().unwrap().dist {
-                                best.pop();
-                                best.push(HeapHit { dist: c, oid: *oid });
-                            }
-                        }
-                    }
-                }
-                SrNode::Index { entries, .. } => {
-                    for e in entries {
-                        let c = self.min_dist_entry_sq(q, e, metric);
-                        if best.len() < k || c <= best.peek().unwrap().dist {
-                            pq.push(PqNode {
-                                dist: c,
-                                pid: e.pid,
-                            });
-                        }
-                    }
-                }
-            }
-        }
-        let hits = sorted_hits(best, metric);
-        if clamped {
-            return Ok((
-                QueryOutcome::degraded(hits, DegradeReason::BudgetExhausted),
-                io,
-            ));
-        }
-        Ok((QueryOutcome::Complete(hits), io))
+        hyt_exec::run_knn(&SrExpand { tree: self }, q, k, metric, ctx)
+    }
+
+    fn knn_stream<'a>(
+        &'a self,
+        q: &Point,
+        metric: &'a dyn Metric,
+        ctx: &QueryContext,
+    ) -> IndexResult<Box<dyn KnnStream + 'a>> {
+        check_dim(self.dim, q.dim())?;
+        Ok(Box::new(KnnCursor::new(
+            SrExpand { tree: self },
+            q.clone(),
+            metric,
+            ctx.clone(),
+        )))
     }
 
     fn io_stats(&self) -> IoStats {

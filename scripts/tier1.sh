@@ -13,6 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo clippy hyt-page (read paths must be panic-free: unwrap/expect denied)"
 cargo clippy -p hyt-page --lib -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
+echo "== cargo clippy hyt-exec (the shared traversal kernel: warnings are errors)"
+cargo clippy -p hyt-exec --all-targets -- -D warnings
+
 echo "== cargo test"
 cargo test --workspace -q
 
@@ -22,8 +25,14 @@ cargo test -q --test crash_matrix
 echo "== chaos queries (governed batches under fault load; must finish, not hang)"
 timeout 120 cargo test -q --test chaos_queries
 
+echo "== executor equivalence (cursor prefixes == batch kNN on every engine)"
+cargo test -q --test executor
+
 echo "== cargo doc (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+echo "== cargo doc hyt-exec (kernel contract docs must build clean, private items included)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -p hyt-exec --document-private-items --quiet
 
 echo "== bench smoke (criterion micro benches, shortened sampling)"
 HYT_BENCH_MS=200 cargo bench -p hyt-bench --bench micro

@@ -46,7 +46,7 @@ const USAGE: &str = "usage:
                [--els-bits 4] [--bulk] [--node-cache-entries 0]
   hyt stats    --index PAGES --meta META [--node-cache-entries N]
   hyt knn      --index PAGES --meta META --query V [--k 10] [--metric l2]
-               [--timeout-ms T] [--max-reads N] [--node-cache-entries N]
+               [--stream] [--timeout-ms T] [--max-reads N] [--node-cache-entries N]
   hyt range    --index PAGES --meta META --query V --radius R [--metric l2]
                [--timeout-ms T] [--max-reads N] [--node-cache-entries N]
   hyt box      --index PAGES --meta META --lo V --hi V
@@ -60,6 +60,8 @@ batch file: one query per line — `box LO HI` | `range CENTER R` | `knn CENTER 
 --timeout-ms caps wall time (whole batch for `batch`), --max-reads caps page
 reads per query; a query hitting a limit returns its partial answer, marked
 degraded. --max-inflight bounds concurrent queries; excess queries are shed.
+--stream prints each neighbor as soon as it is proven (incremental distance
+browsing) instead of after the search completes; same answers, same I/O.
 --node-cache-entries overrides the decoded-node cache size for this process
 (0 disables; decode-per-visit); query results and page-read counts are
 unaffected, only decode work.
@@ -127,7 +129,7 @@ fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected --option, found `{key}`"));
         };
-        if name == "bulk" {
+        if name == "bulk" || name == "stream" {
             out.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -375,6 +377,32 @@ fn knn(opts: &HashMap<String, String>) -> Result<(), String> {
     let metric = parse_metric(opts.get("metric").map(String::as_str).unwrap_or("l2"))?;
     let ctx = parse_query_context(opts)?;
     tree.reset_io_stats();
+    if opts.contains_key("stream") {
+        // Incremental distance browsing: each neighbor is printed the
+        // moment the cursor proves no closer object remains, instead of
+        // after the whole search settles.
+        let mut cursor = tree
+            .knn_stream(&q, metric.as_ref(), &ctx)
+            .map_err(|e| e.to_string())?;
+        let mut yielded = 0usize;
+        while yielded < k {
+            match cursor.next() {
+                Some((oid, d)) => {
+                    println!("{oid}\t{d:.6}");
+                    yielded += 1;
+                }
+                None => break,
+            }
+        }
+        if let Some(e) = cursor.take_error() {
+            return Err(e.to_string());
+        }
+        if let Some(reason) = cursor.degrade_reason() {
+            eprintln!("[degraded: {reason} — results above are partial]");
+        }
+        eprintln!("[{} page reads]", tree.io_stats().logical_reads);
+        return Ok(());
+    }
     let (outcome, _) = tree
         .knn_ctx(&q, k, metric.as_ref(), &ctx)
         .map_err(|e| e.to_string())?;

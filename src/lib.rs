@@ -17,6 +17,7 @@
 pub use hybrid_tree as core;
 pub use hyt_data as data;
 pub use hyt_eval as eval;
+pub use hyt_exec as exec;
 pub use hyt_geom as geom;
 pub use hyt_hbtree as hbtree;
 pub use hyt_index as index;
@@ -30,8 +31,8 @@ pub mod prelude {
     pub use hybrid_tree::{HybridTree, HybridTreeConfig, SplitPolicy};
     pub use hyt_geom::{Chebyshev, Lp, Metric, Point, Rect, WeightedEuclidean, L1, L2};
     pub use hyt_index::{
-        CancelToken, DegradeReason, IndexError, IndexResult, MultidimIndex, QueryContext,
-        QueryOutcome, StructureStats,
+        CancelToken, DegradeReason, IndexError, IndexResult, KnnStream, MultidimIndex,
+        QueryContext, QueryOutcome, StructureStats,
     };
     pub use hyt_page::IoStats;
 }

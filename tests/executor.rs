@@ -1,0 +1,164 @@
+//! Streaming-kNN cursor vs. batch kNN: on every engine that supports
+//! distance search, draining the cursor `k` yields must reproduce the
+//! batch `knn_ctx` answer *exactly* — same oids in the same order, same
+//! tie-breaks, same distances — because both run the same executor
+//! kernel over the same page reads. The equivalence must also survive
+//! governance: under a read budget the cursor's yields form a prefix of
+//! the batch query's (equally degraded) partial answer.
+
+use hybridtree_repro::data::{clustered, colhist, uniform};
+use hybridtree_repro::eval::{build_engine, run_knn_stream, Engine};
+use hybridtree_repro::prelude::*;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+const STREAMING_ENGINES: [Engine; 4] = [Engine::Hybrid, Engine::Sr, Engine::Kdb, Engine::Scan];
+
+fn datasets() -> Vec<(&'static str, Vec<Point>)> {
+    vec![
+        ("uniform-4d", uniform(1_200, 4, 71)),
+        ("clustered-6d", clustered(1_200, 6, 5, 0.02, 72)),
+        ("colhist-16d", colhist(900, 16, 73)),
+    ]
+}
+
+fn query_points(data: &[Point], n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| data[rng.gen_range(0..data.len())].clone())
+        .collect()
+}
+
+/// Drains at most `k` hits from a fresh cursor, returning the hits and
+/// the degradation reason (if the budget stopped the stream early).
+fn drain(
+    idx: &dyn MultidimIndex,
+    q: &Point,
+    k: usize,
+    metric: &dyn Metric,
+    ctx: &QueryContext,
+) -> (Vec<(u64, f64)>, Option<DegradeReason>) {
+    let (hits, _, reason) = run_knn_stream(idx, q, k, metric, ctx).unwrap();
+    (hits, reason)
+}
+
+#[test]
+fn cursor_prefixes_equal_batch_knn_on_all_engines() {
+    for (name, data) in datasets() {
+        let queries = query_points(&data, 8, 81);
+        for engine in STREAMING_ENGINES {
+            let (idx, _) = build_engine(engine, &data).unwrap();
+            for metric in [&L1 as &dyn Metric, &L2] {
+                for q in &queries {
+                    let (outcome, _) = idx
+                        .knn_ctx(q, 10, metric, QueryContext::unlimited())
+                        .unwrap();
+                    let batch = outcome.into_results();
+                    // Full drain reproduces the batch answer bit for bit:
+                    // same oids, same order (ties broken identically).
+                    let (stream, reason) = drain(&*idx, q, 10, metric, QueryContext::unlimited());
+                    assert_eq!(reason, None, "{} on {name}", engine.name());
+                    assert_eq!(stream, batch, "{} on {name}", engine.name());
+                    // Every shorter drain is a strict prefix — the cursor
+                    // never reorders later knowledge into earlier yields.
+                    for prefix_len in [1usize, 3, 7] {
+                        let (prefix, _) =
+                            drain(&*idx, q, prefix_len, metric, QueryContext::unlimited());
+                        assert_eq!(
+                            prefix,
+                            batch[..prefix_len.min(batch.len())].to_vec(),
+                            "{} on {name} (k={prefix_len})",
+                            engine.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn degraded_cursor_prefixes_equal_degraded_batch_answers() {
+    for (name, data) in datasets() {
+        let queries = query_points(&data, 4, 91);
+        for engine in STREAMING_ENGINES {
+            let (idx, _) = build_engine(engine, &data).unwrap();
+            for q in &queries {
+                // Find the I/O a complete k=10 search needs, then starve
+                // the budget below it so both paths degrade mid-search.
+                let (_, full_io) = idx.knn_ctx(q, 10, &L2, QueryContext::unlimited()).unwrap();
+                let full_reads = full_io.logical_reads + full_io.seq_reads;
+                assert!(full_reads > 1, "{} on {name}", engine.name());
+                for budget in [full_reads / 2, full_reads - 1] {
+                    let ctx = QueryContext {
+                        max_logical_reads: Some(budget),
+                        ..QueryContext::default()
+                    };
+                    let (outcome, _) = idx.knn_ctx(q, 10, &L2, &ctx).unwrap();
+                    assert_eq!(
+                        outcome.degrade_reason(),
+                        Some(DegradeReason::BudgetExhausted),
+                        "{} on {name}",
+                        engine.name()
+                    );
+                    let batch = outcome.into_results();
+                    let (stream, _, reason) = run_knn_stream(&*idx, q, 10, &L2, &ctx).unwrap();
+                    // The cursor reads pages in the same order, so it hits
+                    // the same budget wall; its yields are a prefix of the
+                    // batch's settled partial answer (the batch settles
+                    // *all* candidates found so far, the cursor only what
+                    // it had proven when the budget ran out).
+                    assert_eq!(
+                        reason,
+                        Some(DegradeReason::BudgetExhausted),
+                        "{} on {name}",
+                        engine.name()
+                    );
+                    assert!(stream.len() <= batch.len(), "{} on {name}", engine.name());
+                    assert_eq!(
+                        stream,
+                        batch[..stream.len()].to_vec(),
+                        "{} on {name} (budget={budget})",
+                        engine.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hb_tree_reports_streaming_unsupported() {
+    let data = uniform(400, 4, 99);
+    let (idx, _) = build_engine(Engine::Hb, &data).unwrap();
+    let q = data[0].clone();
+    let err = idx
+        .knn_stream(&q, &L2, QueryContext::unlimited())
+        .err()
+        .expect("hB-tree must refuse to open a kNN cursor");
+    assert!(matches!(err, IndexError::Unsupported(_)), "got {err}");
+}
+
+#[test]
+fn cursor_result_cap_degrades_stream() {
+    let data = uniform(800, 4, 101);
+    for engine in STREAMING_ENGINES {
+        let (idx, _) = build_engine(engine, &data).unwrap();
+        let ctx = QueryContext {
+            max_results: Some(3),
+            ..QueryContext::default()
+        };
+        let q = data[5].clone();
+        let (hits, _, reason) = run_knn_stream(&*idx, &q, 10, &L2, &ctx).unwrap();
+        assert_eq!(hits.len(), 3, "{}", engine.name());
+        assert_eq!(
+            reason,
+            Some(DegradeReason::BudgetExhausted),
+            "{}",
+            engine.name()
+        );
+        // The capped stream agrees with the clamped batch answer.
+        let (outcome, _) = idx.knn_ctx(&q, 10, &L2, &ctx).unwrap();
+        assert_eq!(hits, outcome.into_results(), "{}", engine.name());
+    }
+}
